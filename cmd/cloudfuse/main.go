@@ -1,0 +1,47 @@
+// Command cloudfuse runs the cloud track-fusion service (§III-C3): vehicles
+// POST per-road gradient profiles; the service fuses submissions and serves
+// the network's profile.
+//
+// Usage:
+//
+//	cloudfuse -addr :8080
+//
+// API:
+//
+//	POST /v1/roads/{id}/profiles   {"spacing_m":5,"grade_rad":[...],"var":[...]}
+//	GET  /v1/roads/{id}/profile
+//	GET  /v1/roads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"roadgrade/internal/cloud"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cloudfuse: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           cloud.NewServer().Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("cloudfuse listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command gradebench regenerates the paper's evaluation tables and figures
+// on the simulated substrate.
+//
+// Usage:
+//
+//	gradebench -exp all            # run every experiment (full workloads)
+//	gradebench -exp fig8a -seed 7  # one experiment, custom seed
+//	gradebench -list               # list experiment IDs
+//	gradebench -exp fig9b -quick   # shrunken workload (seconds, not minutes)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"roadgrade/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "gradebench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expName = flag.String("exp", "all", "experiment ID or 'all'")
+		seed    = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		quick   = flag.Bool("quick", false, "use shrunken workloads")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		format  = flag.String("format", "text", "output format: text | json")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiment.Names(), "\n"))
+		return nil
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text | json)", *format)
+	}
+	opt := experiment.Options{Seed: *seed, Quick: *quick}
+	var tables []experiment.Table
+	if *expName == "all" {
+		all, err := experiment.All(opt)
+		if err != nil {
+			return err
+		}
+		tables = all
+	} else {
+		t, err := experiment.Run(*expName, opt)
+		if err != nil {
+			return err
+		}
+		tables = []experiment.Table{t}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Eco-routing: the application the paper motivates. Once road gradients are
+// known, fuel per road is predictable, and route planning can minimize
+// gallons instead of meters. This example compares the shortest route with
+// the fuel-optimal route across the synthetic city.
+//
+//	go run ./examples/ecorouting
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"roadgrade/internal/fuel"
+	"roadgrade/internal/road"
+	"roadgrade/internal/route"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ecorouting: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	net, err := road.GenerateNetwork(4242, road.NetworkConfig{TargetStreetKM: 30})
+	if err != nil {
+		return err
+	}
+	params := fuel.TableII()
+	const speedMS = 40.0 / 3.6
+
+	// Route diagonally across the grid.
+	from := net.Nodes[0].ID
+	to := net.Nodes[len(net.Nodes)-1].ID
+
+	shortest, err := route.Shortest(net, from, to, route.DistanceCost)
+	if err != nil {
+		return err
+	}
+	eco, err := route.Shortest(net, from, to, route.FuelCost(speedMS, fuel.TrueGrade, params))
+	if err != nil {
+		return err
+	}
+
+	shortFuel, err := shortest.FuelGallons(speedMS, fuel.TrueGrade, params)
+	if err != nil {
+		return err
+	}
+	ecoFuel, err := eco.FuelGallons(speedMS, fuel.TrueGrade, params)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("city: %.1f km of streets; routing node %d -> node %d at 40 km/h\n\n",
+		net.TotalLengthM()/1000, from, to)
+	fmt.Printf("%-16s %8s %10s %8s\n", "route", "roads", "length", "fuel")
+	fmt.Printf("%-16s %8d %8.2f km %7.4f gal\n", "shortest", len(shortest.Edges),
+		shortest.LengthM()/1000, shortFuel)
+	fmt.Printf("%-16s %8d %8.2f km %7.4f gal\n", "fuel-optimal", len(eco.Edges),
+		eco.LengthM()/1000, ecoFuel)
+
+	if ecoFuel < shortFuel {
+		saved := (shortFuel - ecoFuel) / shortFuel * 100
+		extra := (eco.LengthM() - shortest.LengthM()) / shortest.LengthM() * 100
+		fmt.Printf("\nthe eco route saves %.1f%% fuel for %.1f%% extra distance\n", saved, extra)
+	} else {
+		fmt.Println("\nthe shortest route is already fuel-optimal on this city/seed")
+	}
+
+	// What if the planner ignored gradients? It would pick a route that
+	// looks cheap on paper but burns more in the real (hilly) city.
+	flatPlanned, err := route.Shortest(net, from, to, route.FuelCost(speedMS, fuel.FlatGrade, params))
+	if err != nil {
+		return err
+	}
+	flatActual, err := flatPlanned.FuelGallons(speedMS, fuel.TrueGrade, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flat-planner route actually burns %.4f gal (%.1f%% worse than gradient-aware)\n",
+		flatActual, (flatActual-ecoFuel)/ecoFuel*100)
+
+	// Eco-speed: the best cruise speed differs per road with its gradient.
+	fmt.Println("\nbest cruise speed per road on the eco route (first three):")
+	for _, e := range eco.Edges[:min(3, len(eco.Edges))] {
+		best, err := fuel.OptimalCruise(e.Road, fuel.TrueGrade, params, 20, 110)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s grade-aware optimum %3.0f km/h at %.4f gal/km\n",
+			e.Road.ID(), best.SpeedKmh, best.GallonsPerKm)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Quickstart: simulate a phone riding along the paper's 2.16 km evaluation
+// route, estimate the road gradient from the four velocity sources, fuse the
+// tracks, and compare against the §III-D reference profile.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"roadgrade/internal/core"
+	"roadgrade/internal/fusion"
+	"roadgrade/internal/groundtruth"
+	"roadgrade/internal/road"
+	"roadgrade/internal/sensors"
+	"roadgrade/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. The road: Table III's seven-section route with alternating
+	//    uphill/downhill stretches and 1-2 lanes.
+	r, err := road.RedRoute()
+	if err != nil {
+		return err
+	}
+
+	// 2. A driver cruising at 40 km/h who occasionally changes lanes.
+	driver := vehicle.DefaultDriver(40.0 / 3.6)
+	driver.LaneChangesPerKm = 2
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road:   r,
+		Driver: driver,
+		Rng:    rand.New(rand.NewSource(42)),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drove %.2f km in %.0f s with %d lane changes\n",
+		r.Length()/1000, trip.Duration(), len(trip.Changes))
+
+	// 3. The smartphone: sample every sensor with realistic noise.
+	trace, err := sensors.Sample(trip, sensors.DefaultConfig(), rand.New(rand.NewSource(43)))
+	if err != nil {
+		return err
+	}
+
+	// 4. The estimation pipeline: coordinate alignment, lane-change
+	//    detection + Eq. (2) correction, then one EKF gradient track per
+	//    velocity source (GPS, speedometer, accelerometer, CAN bus).
+	pipeline, err := core.NewPipeline(core.Config{})
+	if err != nil {
+		return err
+	}
+	adj, err := pipeline.Adjust(trace, r.Line())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detected %d lane changes during data adjustment\n", len(adj.Detections))
+
+	tracks, err := pipeline.EstimateAll(trace, r.Line())
+	if err != nil {
+		return err
+	}
+
+	// 5. Track fusion (Eq. 6) onto a 5 m grid.
+	profile, err := fusion.FuseTracks(tracks, 5, r.Length())
+	if err != nil {
+		return err
+	}
+
+	// 6. Score against the §III-D reference profile.
+	ref, err := groundtruth.ReferenceFor(r, rand.New(rand.NewSource(44)))
+	if err != nil {
+		return err
+	}
+	var sumAbs, maxAbs float64
+	var n int
+	for i := range profile.S {
+		s := profile.S[i]
+		if s < 100 || s > ref.Length() {
+			continue
+		}
+		errDeg := math.Abs(profile.GradeRad[i]-ref.GradeAvgAt(s, 5)) * 180 / math.Pi
+		sumAbs += errDeg
+		maxAbs = math.Max(maxAbs, errDeg)
+		n++
+	}
+	fmt.Printf("fused gradient profile: mean |error| %.3f deg, max %.3f deg over %d cells\n",
+		sumAbs/float64(n), maxAbs, n)
+
+	// Print a short excerpt of the profile.
+	fmt.Println("\n  s (m)   est (deg)   true (deg)")
+	for s := 200.0; s <= 2000; s += 300 {
+		fmt.Printf("  %5.0f   %+8.2f   %+9.2f\n",
+			s, profile.GradeAt(s)*180/math.Pi, r.GradeAt(s)*180/math.Pi)
+	}
+	return nil
+}

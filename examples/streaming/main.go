@@ -1,0 +1,79 @@
+// Streaming estimation: the online API a phone app would use. Sensor records
+// are pushed one at a time as the drive happens; the estimator reports the
+// live gradient under the wheels. (The batch pipeline remains the accurate
+// post-drive path — it smooths in both directions and fuses four sources.)
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"roadgrade/internal/core"
+	"roadgrade/internal/road"
+	"roadgrade/internal/sensors"
+	"roadgrade/internal/vehicle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "streaming: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	r, err := road.RedRoute()
+	if err != nil {
+		return err
+	}
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road:   r,
+		Driver: vehicle.DefaultDriver(40.0 / 3.6),
+		Rng:    rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		return err
+	}
+	trace, err := sensors.Sample(trip, sensors.DefaultConfig(), rand.New(rand.NewSource(8)))
+	if err != nil {
+		return err
+	}
+
+	// One causal filter on the CAN-bus speed (the best single source).
+	stream, err := core.NewStreaming(core.Config{}, r.Line(), sensors.SourceCANBus, trace.DT)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("   t (s)    s (m)   live grade   true grade   error")
+	nextPrint := 10.0
+	var sumErr float64
+	var n int
+	for i, rec := range trace.Records {
+		est, err := stream.Push(rec)
+		if err != nil {
+			return err
+		}
+		truth := r.GradeAt(trace.Truth[i].S)
+		if rec.T > 20 { // after convergence
+			sumErr += math.Abs(est.GradeRad-truth) * 180 / math.Pi
+			n++
+		}
+		if rec.T >= nextPrint {
+			nextPrint += 20
+			fmt.Printf("  %6.1f   %6.0f   %+9.2f°   %+9.2f°   %5.2f°\n",
+				rec.T, est.S,
+				est.GradeRad*180/math.Pi,
+				truth*180/math.Pi,
+				math.Abs(est.GradeRad-truth)*180/math.Pi)
+		}
+	}
+	fmt.Printf("\nlive (causal, single-source) mean |error| after convergence: %.3f deg\n",
+		sumErr/float64(n))
+	fmt.Println("run examples/quickstart for the batch pipeline (two-pass + 4-source fusion)")
+	return nil
+}

@@ -1,0 +1,3 @@
+module roadgrade
+
+go 1.24

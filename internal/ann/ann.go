@@ -1,0 +1,320 @@
+// Package ann is a small feedforward neural network implemented from
+// scratch (dense layers, tanh/ReLU/identity activations, SGD with momentum,
+// mean-squared-error loss). It exists to reproduce the paper's ANN-based
+// road gradient baseline [8]; the Go ecosystem constraint (stdlib only)
+// means we supply the substrate ourselves.
+package ann
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer non-linearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota + 1
+	Tanh
+	ReLU
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// derivative given the activation output y (and pre-activation x for ReLU).
+func (a Activation) derivative(x, y float64) float64 {
+	switch a {
+	case Tanh:
+		return 1 - y*y
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// layer is one dense layer: out = act(W·in + b).
+type layer struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // Out x In, row-major
+	B       []float64
+
+	// training state
+	vW, vB []float64 // momentum buffers
+	// forward cache
+	input, preact, output []float64
+}
+
+// Network is a feedforward net.
+type Network struct {
+	layers []*layer
+}
+
+// LayerSpec declares one layer of a network.
+type LayerSpec struct {
+	Units int
+	Act   Activation
+}
+
+// New builds a network with the given input width and layer specs,
+// initialized with Xavier-style random weights.
+func New(inputs int, specs []LayerSpec, rng *rand.Rand) (*Network, error) {
+	if inputs <= 0 {
+		return nil, fmt.Errorf("ann: inputs %d must be positive", inputs)
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("ann: at least one layer required")
+	}
+	if rng == nil {
+		return nil, errors.New("ann: rng is required")
+	}
+	n := &Network{}
+	in := inputs
+	for i, sp := range specs {
+		if sp.Units <= 0 {
+			return nil, fmt.Errorf("ann: layer %d has %d units", i, sp.Units)
+		}
+		if sp.Act < Identity || sp.Act > ReLU {
+			return nil, fmt.Errorf("ann: layer %d has unknown activation %d", i, int(sp.Act))
+		}
+		l := &layer{In: in, Out: sp.Units, Act: sp.Act}
+		l.W = make([]float64, l.Out*l.In)
+		l.B = make([]float64, l.Out)
+		l.vW = make([]float64, len(l.W))
+		l.vB = make([]float64, len(l.B))
+		scale := math.Sqrt(2.0 / float64(in+sp.Units))
+		for j := range l.W {
+			l.W[j] = rng.NormFloat64() * scale
+		}
+		n.layers = append(n.layers, l)
+		in = sp.Units
+	}
+	return n, nil
+}
+
+// Inputs returns the expected input width.
+func (n *Network) Inputs() int { return n.layers[0].In }
+
+// Outputs returns the output width.
+func (n *Network) Outputs() int { return n.layers[len(n.layers)-1].Out }
+
+// Predict runs a forward pass and returns the output (a fresh slice).
+// Safe for concurrent use: it allocates per-call buffers instead of touching
+// the training caches.
+func (n *Network) Predict(in []float64) ([]float64, error) {
+	if len(in) != n.Inputs() {
+		return nil, fmt.Errorf("ann: input width %d, want %d", len(in), n.Inputs())
+	}
+	cur := in
+	for _, l := range n.layers {
+		out := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			sum := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, w := range row {
+				sum += w * cur[i]
+			}
+			out[o] = l.Act.apply(sum)
+		}
+		cur = out
+	}
+	if len(n.layers) == 0 {
+		return append([]float64(nil), in...), nil
+	}
+	return cur, nil
+}
+
+func (l *layer) forward(in []float64) []float64 {
+	if l.input == nil {
+		l.input = make([]float64, l.In)
+		l.preact = make([]float64, l.Out)
+		l.output = make([]float64, l.Out)
+	}
+	copy(l.input, in)
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, w := range row {
+			sum += w * in[i]
+		}
+		l.preact[o] = sum
+		l.output[o] = l.Act.apply(sum)
+	}
+	return l.output
+}
+
+// backward propagates the output-layer gradient dLoss/dOut and accumulates
+// parameter updates with learning rate lr and momentum mu.
+func (l *layer) backward(gradOut []float64, lr, mu float64) []float64 {
+	gradIn := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		d := gradOut[o] * l.Act.derivative(l.preact[o], l.output[o])
+		row := l.W[o*l.In : (o+1)*l.In]
+		vRow := l.vW[o*l.In : (o+1)*l.In]
+		for i := range row {
+			gradIn[i] += row[i] * d
+			vRow[i] = mu*vRow[i] - lr*d*l.input[i]
+			row[i] += vRow[i]
+		}
+		l.vB[o] = mu*l.vB[o] - lr*d
+		l.B[o] += l.vB[o]
+	}
+	return gradIn
+}
+
+// TrainConfig controls SGD.
+type TrainConfig struct {
+	// Epochs over the dataset (default 50).
+	Epochs int
+	// LearningRate (default 0.01) and Momentum (default 0.9).
+	LearningRate float64
+	Momentum     float64
+	// Rng shuffles the data each epoch. Required.
+	Rng *rand.Rand
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		c.Momentum = 0.9
+	}
+	return c
+}
+
+// Train fits the network to (inputs, targets) with per-sample SGD and MSE
+// loss, returning the final epoch's mean squared error.
+func (n *Network) Train(inputs, targets [][]float64, cfg TrainConfig) (float64, error) {
+	if len(inputs) == 0 || len(inputs) != len(targets) {
+		return 0, fmt.Errorf("ann: bad dataset: %d inputs, %d targets", len(inputs), len(targets))
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Rng == nil {
+		return 0, errors.New("ann: TrainConfig.Rng is required")
+	}
+	for i := range inputs {
+		if len(inputs[i]) != n.Inputs() {
+			return 0, fmt.Errorf("ann: sample %d input width %d, want %d", i, len(inputs[i]), n.Inputs())
+		}
+		if len(targets[i]) != n.Outputs() {
+			return 0, fmt.Errorf("ann: sample %d target width %d, want %d", i, len(targets[i]), n.Outputs())
+		}
+	}
+	idx := make([]int, len(inputs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastMSE float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cfg.Rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sse float64
+		for _, k := range idx {
+			// Forward.
+			cur := inputs[k]
+			for _, l := range n.layers {
+				cur = l.forward(cur)
+			}
+			// MSE gradient at the output.
+			grad := make([]float64, len(cur))
+			for o := range cur {
+				diff := cur[o] - targets[k][o]
+				grad[o] = 2 * diff / float64(len(cur))
+				sse += diff * diff
+			}
+			// Backward through the stack.
+			for li := len(n.layers) - 1; li >= 0; li-- {
+				grad = n.layers[li].backward(grad, cfg.LearningRate, cfg.Momentum)
+			}
+		}
+		lastMSE = sse / float64(len(inputs)*n.Outputs())
+	}
+	return lastMSE, nil
+}
+
+// snapshot is the JSON form of a network.
+type snapshot struct {
+	Layers []layerSnapshot `json:"layers"`
+}
+
+type layerSnapshot struct {
+	In  int        `json:"in"`
+	Out int        `json:"out"`
+	Act Activation `json:"act"`
+	W   []float64  `json:"w"`
+	B   []float64  `json:"b"`
+}
+
+// MarshalJSON serializes the weights.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	var snap snapshot
+	for _, l := range n.layers {
+		snap.Layers = append(snap.Layers, layerSnapshot{
+			In: l.In, Out: l.Out, Act: l.Act,
+			W: append([]float64(nil), l.W...),
+			B: append([]float64(nil), l.B...),
+		})
+	}
+	return json.Marshal(snap)
+}
+
+// UnmarshalJSON restores a serialized network.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("ann: decoding network: %w", err)
+	}
+	if len(snap.Layers) == 0 {
+		return errors.New("ann: snapshot has no layers")
+	}
+	n.layers = nil
+	for i, ls := range snap.Layers {
+		if ls.In <= 0 || ls.Out <= 0 || len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return fmt.Errorf("ann: snapshot layer %d malformed", i)
+		}
+		l := &layer{In: ls.In, Out: ls.Out, Act: ls.Act}
+		l.W = append([]float64(nil), ls.W...)
+		l.B = append([]float64(nil), ls.B...)
+		l.vW = make([]float64, len(l.W))
+		l.vB = make([]float64, len(l.B))
+		n.layers = append(n.layers, l)
+	}
+	return nil
+}

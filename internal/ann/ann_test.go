@@ -1,0 +1,208 @@
+package ann
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := []LayerSpec{{Units: 4, Act: Tanh}, {Units: 1, Act: Identity}}
+	if _, err := New(0, specs, rng); err == nil {
+		t.Error("zero inputs should error")
+	}
+	if _, err := New(2, nil, rng); err == nil {
+		t.Error("no layers should error")
+	}
+	if _, err := New(2, specs, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	if _, err := New(2, []LayerSpec{{Units: 0, Act: Tanh}}, rng); err == nil {
+		t.Error("zero units should error")
+	}
+	if _, err := New(2, []LayerSpec{{Units: 2, Act: Activation(99)}}, rng); err == nil {
+		t.Error("bad activation should error")
+	}
+	n, err := New(3, specs, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Inputs() != 3 || n.Outputs() != 1 {
+		t.Errorf("dims = %d in, %d out", n.Inputs(), n.Outputs())
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	for a, want := range map[Activation]string{Identity: "identity", Tanh: "tanh", ReLU: "relu"} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", int(a), a.String())
+		}
+	}
+	if Activation(42).String() == "" {
+		t.Error("unknown activation should render")
+	}
+}
+
+func TestPredictWidthCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, _ := New(2, []LayerSpec{{Units: 1, Act: Identity}}, rng)
+	if _, err := n.Predict([]float64{1}); err == nil {
+		t.Error("wrong input width should error")
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, err := New(2, []LayerSpec{{Units: 8, Act: Tanh}, {Units: 1, Act: Identity}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := [][]float64{{0}, {1}, {1}, {0}}
+	mse, err := n.Train(inputs, targets, TrainConfig{Epochs: 2000, LearningRate: 0.05, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.01 {
+		t.Fatalf("XOR MSE = %v after training", mse)
+	}
+	for i, in := range inputs {
+		out, err := n.Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out[0]-targets[i][0]) > 0.2 {
+			t.Errorf("XOR(%v) = %v, want %v", in, out[0], targets[i][0])
+		}
+	}
+}
+
+func TestLearnsSineRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, err := New(1, []LayerSpec{{Units: 16, Act: Tanh}, {Units: 1, Act: Identity}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs, targets [][]float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64()*2 - 1
+		inputs = append(inputs, []float64{x})
+		targets = append(targets, []float64{math.Sin(2 * x)})
+	}
+	mse, err := n.Train(inputs, targets, TrainConfig{Epochs: 300, LearningRate: 0.02, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.01 {
+		t.Errorf("sine regression MSE = %v", mse)
+	}
+}
+
+func TestReLUNetworkTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, err := New(1, []LayerSpec{{Units: 12, Act: ReLU}, {Units: 1, Act: Identity}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs, targets [][]float64
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()*2 - 1
+		inputs = append(inputs, []float64{x})
+		targets = append(targets, []float64{math.Abs(x)})
+	}
+	mse, err := n.Train(inputs, targets, TrainConfig{Epochs: 400, LearningRate: 0.01, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.01 {
+		t.Errorf("|x| regression MSE = %v", mse)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, _ := New(2, []LayerSpec{{Units: 1, Act: Identity}}, rng)
+	if _, err := n.Train(nil, nil, TrainConfig{Rng: rng}); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := n.Train([][]float64{{1, 2}}, [][]float64{{1}}, TrainConfig{}); err == nil {
+		t.Error("missing rng should error")
+	}
+	if _, err := n.Train([][]float64{{1}}, [][]float64{{1}}, TrainConfig{Rng: rng}); err == nil {
+		t.Error("wrong input width should error")
+	}
+	if _, err := n.Train([][]float64{{1, 2}}, [][]float64{{1, 2}}, TrainConfig{Rng: rng}); err == nil {
+		t.Error("wrong target width should error")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, _ := New(3, []LayerSpec{{Units: 5, Act: Tanh}, {Units: 2, Act: Identity}}, rng)
+	in := []float64{0.3, -0.7, 1.1}
+	want, err := n.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Network
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("output %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var n Network
+	if err := json.Unmarshal([]byte(`{"layers":[]}`), &n); err == nil {
+		t.Error("empty snapshot should error")
+	}
+	if err := json.Unmarshal([]byte(`{"layers":[{"in":2,"out":1,"act":1,"w":[1],"b":[0]}]}`), &n); err == nil {
+		t.Error("malformed weights should error")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &n); err == nil {
+		t.Error("bad json should error")
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	n, _ := New(6, []LayerSpec{{Units: 16, Act: Tanh}, {Units: 16, Act: Tanh}, {Units: 1, Act: Identity}}, rng)
+	in := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Predict(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n, _ := New(4, []LayerSpec{{Units: 12, Act: Tanh}, {Units: 1, Act: Identity}}, rng)
+	var inputs, targets [][]float64
+	for i := 0; i < 500; i++ {
+		inputs = append(inputs, []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()})
+		targets = append(targets, []float64{rng.Float64()})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Train(inputs, targets, TrainConfig{Epochs: 1, Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

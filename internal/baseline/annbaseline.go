@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roadgrade/internal/ann"
+	"roadgrade/internal/sensors"
+)
+
+// PaperTrainingSamples is the training set size §IV reports (4,320 samples);
+// the paper attributes the ANN's weak accuracy to this limited set.
+const PaperTrainingSamples = 4320
+
+// ANNEstimator is the [8]-style baseline: a feedforward network mapping
+// smartphone-measured (velocity, acceleration, altitude-history) features to
+// road gradient.
+type ANNEstimator struct {
+	net *ann.Network
+	dt  float64
+}
+
+// annFeatures builds the input vector at tick i of a trace: normalized
+// speed, longitudinal acceleration, and two barometric altitude differences
+// (2 s and 5 s windows) that give the network the altitude trend the paper's
+// inputs carry.
+func annFeatures(trace *sensors.Trace, i int) []float64 {
+	rec := trace.Records[i]
+	w2 := int(2.0 / trace.DT)
+	w5 := int(5.0 / trace.DT)
+	dz2, dz5 := 0.0, 0.0
+	if i >= w2 {
+		dz2 = rec.BaroAlt - trace.Records[i-w2].BaroAlt
+	}
+	if i >= w5 {
+		dz5 = rec.BaroAlt - trace.Records[i-w5].BaroAlt
+	}
+	return []float64{
+		rec.Speedometer / 20,
+		rec.AccelLong / 3,
+		dz2 / 5,
+		dz5 / 10,
+	}
+}
+
+// gradeScale normalizes the training target (radians) into the network's
+// comfortable output range.
+const gradeScale = 10
+
+// TrainANN fits the baseline on traces that carry ground-truth labels
+// (Truth states), using at most maxSamples samples — the paper uses 4,320.
+// Samples are drawn uniformly across the traces.
+func TrainANN(traces []*sensors.Trace, maxSamples int, rng *rand.Rand) (*ANNEstimator, error) {
+	if len(traces) == 0 {
+		return nil, errors.New("baseline: no training traces")
+	}
+	if rng == nil {
+		return nil, errors.New("baseline: rng is required")
+	}
+	if maxSamples <= 0 {
+		maxSamples = PaperTrainingSamples
+	}
+	var inputs, targets [][]float64
+	var total int
+	for _, tr := range traces {
+		if len(tr.Truth) != len(tr.Records) {
+			return nil, errors.New("baseline: training trace lacks ground truth")
+		}
+		total += len(tr.Records)
+	}
+	if total == 0 {
+		return nil, errors.New("baseline: empty training traces")
+	}
+	stride := total / maxSamples
+	if stride < 1 {
+		stride = 1
+	}
+	for _, tr := range traces {
+		for i := 0; i < len(tr.Records); i += stride {
+			if len(inputs) >= maxSamples {
+				break
+			}
+			inputs = append(inputs, annFeatures(tr, i))
+			targets = append(targets, []float64{tr.Truth[i].Grade * gradeScale})
+		}
+	}
+	net, err := ann.New(4, []ann.LayerSpec{
+		{Units: 12, Act: ann.Tanh},
+		{Units: 1, Act: ann.Identity},
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: building ANN: %w", err)
+	}
+	// Deliberately modest training budget: the paper reports the ANN is
+	// undertrained at this sample count and retrains periodically.
+	if _, err := net.Train(inputs, targets, ann.TrainConfig{
+		Epochs:       30,
+		LearningRate: 0.005,
+		Rng:          rng,
+	}); err != nil {
+		return nil, fmt.Errorf("baseline: training ANN: %w", err)
+	}
+	return &ANNEstimator{net: net, dt: traces[0].DT}, nil
+}
+
+// Estimate runs the trained network over a trace. s georeferences the
+// output, as in AltitudeEKF.
+func (a *ANNEstimator) Estimate(trace *sensors.Trace, s []float64) (*Result, error) {
+	if a == nil || a.net == nil {
+		return nil, errors.New("baseline: ANN not trained")
+	}
+	if trace == nil || len(trace.Records) == 0 {
+		return nil, errors.New("baseline: empty trace")
+	}
+	if len(s) != len(trace.Records) {
+		return nil, fmt.Errorf("baseline: position series %d != records %d", len(s), len(trace.Records))
+	}
+	res := &Result{
+		T:        make([]float64, 0, len(trace.Records)),
+		S:        make([]float64, 0, len(trace.Records)),
+		GradeRad: make([]float64, 0, len(trace.Records)),
+	}
+	for i, rec := range trace.Records {
+		out, err := a.net.Predict(annFeatures(trace, i))
+		if err != nil {
+			return nil, fmt.Errorf("baseline: ANN predict at t=%.2f: %w", rec.T, err)
+		}
+		grade := out[0] / gradeScale
+		if math.Abs(grade) > math.Pi/6 {
+			grade = math.Copysign(math.Pi/6, grade)
+		}
+		res.T = append(res.T, rec.T)
+		res.S = append(res.S, s[i])
+		res.GradeRad = append(res.GradeRad, grade)
+	}
+	return res, nil
+}

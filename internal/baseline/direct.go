@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"roadgrade/internal/sensors"
+	"roadgrade/internal/smoothing"
+	"roadgrade/internal/vehicle"
+)
+
+// DirectEq3 evaluates the paper's Eq. (3) pointwise, with no filtering:
+//
+//	θ = arcsin(M/(r·m·g) − ρ·A_f·C_d·v²/(2·m·g) − a/g) − β
+//
+// M comes from the OBD torque reading, v from the speedometer, and the
+// kinematic acceleration a from a smoothed speedometer derivative. This is
+// the naive estimator the paper's EKF machinery improves on — useful as the
+// "why filtering matters" reference in ablations.
+func DirectEq3(trace *sensors.Trace, s []float64, params vehicle.Params) (*Result, error) {
+	if trace == nil || len(trace.Records) == 0 {
+		return nil, errors.New("baseline: empty trace")
+	}
+	if len(s) != len(trace.Records) {
+		return nil, fmt.Errorf("baseline: position series %d != records %d", len(s), len(trace.Records))
+	}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: invalid params: %w", err)
+	}
+	n := len(trace.Records)
+	dt := trace.DT
+
+	// Kinematic acceleration from the speedometer: smooth, then central
+	// difference. The smoothing window (1 s) trades derivative noise for
+	// lag, exactly the compromise the EKF avoids.
+	speeds := make([]float64, n)
+	for i, rec := range trace.Records {
+		speeds[i] = rec.Speedometer
+	}
+	half := int(0.5 / dt)
+	smoothed := smoothing.MovingAverage(speeds, half)
+	accel := make([]float64, n)
+	for i := range accel {
+		lo, hi := i-1, i+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		if hi > lo {
+			accel[i] = (smoothed[hi] - smoothed[lo]) / (float64(hi-lo) * dt)
+		}
+	}
+
+	res := &Result{
+		T:        make([]float64, 0, n),
+		S:        make([]float64, 0, n),
+		GradeRad: make([]float64, 0, n),
+	}
+	for i, rec := range trace.Records {
+		theta := params.GradeFromStates(rec.CANTorque, rec.Speedometer, accel[i])
+		res.T = append(res.T, rec.T)
+		res.S = append(res.S, s[i])
+		res.GradeRad = append(res.GradeRad, theta)
+	}
+	return res, nil
+}

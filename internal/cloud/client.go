@@ -1,0 +1,109 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"roadgrade/internal/fusion"
+)
+
+// Client talks to a fusion Server over HTTP.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the service at base (e.g.
+// "http://localhost:8080"). hc defaults to http.DefaultClient.
+func NewClient(base string, hc *http.Client) (*Client, error) {
+	if base == "" {
+		return nil, errors.New("cloud: empty base URL")
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}, nil
+}
+
+// SubmitProfile uploads one vehicle's fused profile for a road.
+func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Profile) error {
+	if p == nil || p.Len() == 0 {
+		return errors.New("cloud: empty profile")
+	}
+	body, err := json.Marshal(FromProfile(p))
+	if err != nil {
+		return fmt.Errorf("cloud: encoding profile: %w", err)
+	}
+	url := fmt.Sprintf("%s/v1/roads/%s/profiles", c.base, roadID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cloud: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cloud: submitting profile: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("cloud: submit failed: %s", readError(resp))
+	}
+	return nil
+}
+
+// FetchProfile downloads the fused profile for a road.
+func (c *Client) FetchProfile(ctx context.Context, roadID string) (*fusion.Profile, error) {
+	url := fmt.Sprintf("%s/v1/roads/%s/profile", c.base, roadID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: fetching profile: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cloud: fetch failed: %s", readError(resp))
+	}
+	var dto ProfileDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("cloud: decoding profile: %w", err)
+	}
+	return dto.toProfile()
+}
+
+// ListRoads fetches the submission summary.
+func (c *Client) ListRoads(ctx context.Context) ([]RoadStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/roads", nil)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: listing roads: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cloud: list failed: %s", readError(resp))
+	}
+	var out []RoadStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cloud: decoding road list: %w", err)
+	}
+	return out, nil
+}
+
+func readError(resp *http.Response) string {
+	var body errorBody
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err == nil && json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Sprintf("%s (HTTP %d)", body.Error, resp.StatusCode)
+	}
+	return fmt.Sprintf("HTTP %d", resp.StatusCode)
+}

@@ -1,0 +1,193 @@
+// Package cloud implements the crowd-sourcing stage the paper sketches at
+// the end of §III-C3: vehicles upload their per-road gradient profiles to a
+// cloud service, which fuses submissions from different vehicles with the
+// same convex-combination algorithm and serves the fused network profile to
+// transportation services (e.g. route planning).
+//
+// The service is a plain net/http JSON API:
+//
+//	POST /v1/roads/{id}/profiles   submit one vehicle's profile for a road
+//	GET  /v1/roads/{id}/profile    fetch the fused profile for a road
+//	GET  /v1/roads                 list known roads with submission counts
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"roadgrade/internal/fusion"
+)
+
+// ProfileDTO is the wire form of a gradient profile.
+type ProfileDTO struct {
+	SpacingM float64   `json:"spacing_m"`
+	GradeRad []float64 `json:"grade_rad"`
+	Var      []float64 `json:"var"`
+}
+
+// toProfile validates and converts the DTO.
+func (d ProfileDTO) toProfile() (*fusion.Profile, error) {
+	if d.SpacingM <= 0 {
+		return nil, fmt.Errorf("cloud: invalid spacing %v", d.SpacingM)
+	}
+	if len(d.GradeRad) == 0 {
+		return nil, errors.New("cloud: empty profile")
+	}
+	if len(d.GradeRad) != len(d.Var) {
+		return nil, fmt.Errorf("cloud: grade/var length mismatch %d vs %d", len(d.GradeRad), len(d.Var))
+	}
+	for i, v := range d.Var {
+		if v <= 0 {
+			return nil, fmt.Errorf("cloud: non-positive variance at %d", i)
+		}
+	}
+	p := &fusion.Profile{
+		SpacingM: d.SpacingM,
+		S:        make([]float64, len(d.GradeRad)),
+		GradeRad: append([]float64(nil), d.GradeRad...),
+		Var:      append([]float64(nil), d.Var...),
+	}
+	for i := range p.S {
+		p.S[i] = float64(i) * d.SpacingM
+	}
+	return p, nil
+}
+
+// FromProfile builds the wire form of a profile.
+func FromProfile(p *fusion.Profile) ProfileDTO {
+	return ProfileDTO{
+		SpacingM: p.SpacingM,
+		GradeRad: append([]float64(nil), p.GradeRad...),
+		Var:      append([]float64(nil), p.Var...),
+	}
+}
+
+// RoadStatus summarizes one road's submissions.
+type RoadStatus struct {
+	RoadID      string `json:"road_id"`
+	Submissions int    `json:"submissions"`
+}
+
+// Server is the fusion service. Safe for concurrent use.
+type Server struct {
+	mu    sync.Mutex
+	roads map[string][]*fusion.Profile
+
+	// MaxSubmissionsPerRoad bounds memory; once reached, the oldest
+	// submission is dropped (the fused result keeps improving from fresh
+	// data). Default 64.
+	MaxSubmissionsPerRoad int
+}
+
+// NewServer returns an empty fusion server.
+func NewServer() *Server {
+	return &Server{roads: make(map[string][]*fusion.Profile), MaxSubmissionsPerRoad: 64}
+}
+
+// Submit stores one vehicle's profile for a road.
+func (s *Server) Submit(roadID string, p *fusion.Profile) error {
+	if roadID == "" {
+		return errors.New("cloud: empty road id")
+	}
+	if p == nil || p.Len() == 0 {
+		return errors.New("cloud: empty profile")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.roads[roadID]
+	if len(list) > 0 && list[0].SpacingM != p.SpacingM {
+		return fmt.Errorf("cloud: road %s expects spacing %v, got %v", roadID, list[0].SpacingM, p.SpacingM)
+	}
+	list = append(list, p)
+	if max := s.MaxSubmissionsPerRoad; max > 0 && len(list) > max {
+		list = list[len(list)-max:]
+	}
+	s.roads[roadID] = list
+	return nil
+}
+
+// Fused returns the fused profile for a road.
+func (s *Server) Fused(roadID string) (*fusion.Profile, error) {
+	s.mu.Lock()
+	list := append([]*fusion.Profile(nil), s.roads[roadID]...)
+	s.mu.Unlock()
+	if len(list) == 0 {
+		return nil, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	return fusion.FuseProfiles(list)
+}
+
+// Roads lists known roads sorted by id.
+func (s *Server) Roads() []RoadStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RoadStatus, 0, len(s.roads))
+	for id, list := range s.roads {
+		out = append(out, RoadStatus{RoadID: id, Submissions: len(list)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RoadID < out[j].RoadID })
+	return out
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/roads/{id}/profiles", s.handleSubmit)
+	mux.HandleFunc("GET /v1/roads/{id}/profile", s.handleFused)
+	mux.HandleFunc("GET /v1/roads", s.handleList)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var dto ProfileDTO
+	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding profile: %w", err))
+		return
+	}
+	p, err := dto.toProfile()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Submit(id, p); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) handleFused(w http.ResponseWriter, r *http.Request) {
+	fused, err := s.Fused(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, FromProfile(fused))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Roads())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/frame"
+	"roadgrade/internal/geo"
+	"roadgrade/internal/kalman"
+	"roadgrade/internal/mat"
+	"roadgrade/internal/sensors"
+)
+
+// Streaming is the online (causal) variant of the estimator: a phone app
+// feeds sensor records as they arrive and reads back the current gradient
+// estimate in real time. It runs a single forward EKF on one velocity source
+// with the shared localization; the offline Pipeline (two-pass, all sources,
+// fusion) remains the accurate post-drive path.
+//
+// Not safe for concurrent use.
+type Streaming struct {
+	cfg    Config
+	source sensors.VelocitySource
+	line   *geo.Polyline
+	steer  *frame.SteeringEstimator
+	model  *GradeModel
+	filter *kalman.Filter
+	dt     float64
+	sigma  float64
+
+	started bool
+	s       float64 // localized arc position
+	t       float64
+}
+
+// Estimate is the streaming output after one record.
+type Estimate struct {
+	T        float64
+	S        float64
+	SpeedMS  float64
+	GradeRad float64
+	// GradeVar is the filter's variance on the gradient state.
+	GradeVar float64
+	// SteerRate is the derived w_steer at this tick.
+	SteerRate float64
+}
+
+// NewStreaming builds an online estimator over one velocity source. dt is
+// the sensor tick interval.
+func NewStreaming(cfg Config, line *geo.Polyline, src sensors.VelocitySource, dt float64) (*Streaming, error) {
+	if line == nil {
+		return nil, errors.New("core: nil road line")
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("core: invalid dt %v", dt)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid vehicle params: %w", err)
+	}
+	est, err := frame.NewSteeringEstimator(line, cfg.HeadingWindowM)
+	if err != nil {
+		return nil, fmt.Errorf("core: steering estimator: %w", err)
+	}
+	sigma := cfg.MeasurementNoise
+	if sigma <= 0 {
+		sigma = sourceNoise(src)
+	}
+	return &Streaming{
+		cfg:    cfg,
+		source: src,
+		line:   line,
+		steer:  est,
+		dt:     dt,
+		sigma:  sigma,
+	}, nil
+}
+
+// Push feeds one sensor record and returns the updated estimate. The first
+// record initializes the filter from the measured speed.
+func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
+	v, valid, err := st.velocityOf(rec)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if !st.started {
+		v0 := v
+		if !valid {
+			v0 = rec.Speedometer
+		}
+		model := &GradeModel{Params: st.cfg.Params, DT: st.dt}
+		f, err := kalman.NewFilter(model.kalmanModel(), []float64{v0, 0},
+			mat.Diag(1, st.cfg.InitialGradeVar),
+			mat.Diag(
+				st.cfg.ProcessNoiseV*st.cfg.ProcessNoiseV*st.dt,
+				st.cfg.ProcessNoiseTheta*st.cfg.ProcessNoiseTheta*st.dt,
+			),
+			mat.Diag(st.sigma*st.sigma),
+		)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("core: building streaming filter: %w", err)
+		}
+		st.model = model
+		st.filter = f
+		st.started = true
+	}
+
+	// Localize: odometer integration snapped to map-matched GPS fixes.
+	st.s += rec.Speedometer * st.dt
+	if rec.GPSValid {
+		sGPS, dist := st.line.ClosestS(geo.ENU{E: rec.GPSE, N: rec.GPSN})
+		if dist < 25 && math.Abs(sGPS-st.s) < 60 {
+			st.s += 0.3 * (sGPS - st.s)
+		}
+	}
+
+	st.model.Accel = rec.AccelLong
+	st.filter.Predict()
+	if valid {
+		if _, err := st.filter.Update([]float64{v}); err != nil {
+			return Estimate{}, fmt.Errorf("core: streaming update at t=%.2f: %w", rec.T, err)
+		}
+	}
+	st.t = rec.T
+	x := st.filter.State()
+	cov := st.filter.Covariance()
+	return Estimate{
+		T:         rec.T,
+		S:         st.s,
+		SpeedMS:   x[0],
+		GradeRad:  x[1],
+		GradeVar:  cov.At(1, 1),
+		SteerRate: rec.GyroYaw - st.steer.RoadRateAt(st.s, math.Max(rec.Speedometer, 0.1)),
+	}, nil
+}
+
+// velocityOf extracts the configured source's speed from one record. The
+// accelerometer-derived source needs the whole trace and is not available in
+// streaming mode.
+func (st *Streaming) velocityOf(rec sensors.Record) (float64, bool, error) {
+	switch st.source {
+	case sensors.SourceGPS:
+		return rec.GPSSpeed, rec.GPSValid, nil
+	case sensors.SourceSpeedometer:
+		return rec.Speedometer, true, nil
+	case sensors.SourceCANBus:
+		return rec.CANSpeed, true, nil
+	case sensors.SourceAccelerometer:
+		return 0, false, errors.New("core: accelerometer velocity is not available in streaming mode (dead reckoning needs the whole trace)")
+	default:
+		return 0, false, fmt.Errorf("core: unknown velocity source %d", int(st.source))
+	}
+}

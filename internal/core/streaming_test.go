@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"roadgrade/internal/road"
+	"roadgrade/internal/sensors"
+	"roadgrade/internal/vehicle"
+)
+
+func TestNewStreamingValidation(t *testing.T) {
+	r, _ := road.StraightRoad("x", 300, 0, 1)
+	if _, err := NewStreaming(Config{}, nil, sensors.SourceCANBus, 0.05); err == nil {
+		t.Error("nil line should error")
+	}
+	if _, err := NewStreaming(Config{}, r.Line(), sensors.SourceCANBus, 0); err == nil {
+		t.Error("zero dt should error")
+	}
+	bad := Config{Params: vehicleParamsBad()}
+	if _, err := NewStreaming(bad, r.Line(), sensors.SourceCANBus, 0.05); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestStreamingTracksGrade(t *testing.T) {
+	const grade = 2.5
+	r, err := road.StraightRoad("stream", 1500, road.Deg(grade), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace := simulate(t, r, 13, 0, 31)
+	st, err := NewStreaming(Config{}, r.Line(), sensors.SourceCANBus, trace.DT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Estimate
+	var errsAfterConverge []float64
+	for _, rec := range trace.Records {
+		est, err := st.Push(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = est
+		if rec.T > 40 {
+			errsAfterConverge = append(errsAfterConverge,
+				math.Abs(est.GradeRad-road.Deg(grade))*180/math.Pi)
+		}
+	}
+	if len(errsAfterConverge) == 0 {
+		t.Fatal("trip too short to converge")
+	}
+	med := median(errsAfterConverge)
+	if med > 0.5 {
+		t.Errorf("streaming median error %v deg", med)
+	}
+	// Localization stays near the true end of the road.
+	if math.Abs(last.S-1500) > 30 {
+		t.Errorf("final S = %v, want ~1500", last.S)
+	}
+	if last.GradeVar <= 0 {
+		t.Error("variance not reported")
+	}
+}
+
+func TestStreamingMatchesSinglePassPipeline(t *testing.T) {
+	// Streaming is the causal single-pass filter; it must agree closely
+	// with the batch pipeline run with DisableTwoPass on the same source.
+	r, err := road.RedRoute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace := simulate(t, r, 40.0/3.6, 0, 32)
+
+	p, err := NewPipeline(Config{DisableTwoPass: true, DisableLaneChangeCorrection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := p.Adjust(trace, r.Line())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := p.EstimateTrack(trace, adj, sensors.SourceCANBus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewStreaming(Config{}, r.Line(), sensors.SourceCANBus, trace.DT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i, rec := range trace.Records {
+		est, err := st.Push(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.T < 20 {
+			continue
+		}
+		if d := math.Abs(est.GradeRad - batch.GradeRad[i]); d > worst {
+			worst = d
+		}
+	}
+	// NIS scaling affects Var only; state trajectories should be identical
+	// up to floating noise.
+	if worst > 1e-9 {
+		t.Errorf("streaming diverges from single-pass batch by %v rad", worst)
+	}
+}
+
+func TestStreamingAccelerometerUnsupported(t *testing.T) {
+	r, _ := road.StraightRoad("x", 300, 0, 1)
+	st, err := NewStreaming(Config{}, r.Line(), sensors.SourceAccelerometer, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Push(sensors.Record{}); err == nil {
+		t.Error("accelerometer source should be rejected in streaming mode")
+	}
+	st2, err := NewStreaming(Config{}, r.Line(), sensors.VelocitySource(99), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Push(sensors.Record{}); err == nil {
+		t.Error("unknown source should be rejected")
+	}
+}
+
+// vehicleParamsBad builds an invalid parameter set.
+func vehicleParamsBad() vehicle.Params {
+	p := vehicle.DefaultParams()
+	p.MassKg = -1
+	return p
+}
+
+func BenchmarkStreamingPush(b *testing.B) {
+	r, err := road.StraightRoad("stream", 2000, road.Deg(2), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, trace := simulate(b, r, 13, 0, 33)
+	st, err := NewStreaming(Config{}, r.Line(), sensors.SourceCANBus, trace.DT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Push(trace.Records[i%len(trace.Records)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

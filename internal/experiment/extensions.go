@@ -1,0 +1,420 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roadgrade/internal/baseline"
+	"roadgrade/internal/core"
+	"roadgrade/internal/frame"
+	"roadgrade/internal/fusion"
+	"roadgrade/internal/groundtruth"
+	"roadgrade/internal/road"
+	"roadgrade/internal/sensors"
+	"roadgrade/internal/vehicle"
+)
+
+// This file holds experiments beyond the paper's figures: ablations of the
+// design choices, robustness sweeps, and the extensions the paper sketches
+// (phone misalignment handling via [14], multi-vehicle cloud fusion).
+
+// redWorkloadWith builds a red-route workload with a custom sensor config
+// and driver tweaks.
+func redWorkloadWith(seed int64, cfg sensors.Config, warmupS float64) (*workload, error) {
+	return redWorkloadDriver(seed, cfg, warmupS, 0)
+}
+
+// redWorkloadDriver additionally sets the driver's in-lane steering wander.
+func redWorkloadDriver(seed int64, cfg sensors.Config, warmupS, steerJitter float64) (*workload, error) {
+	r, err := road.RedRoute()
+	if err != nil {
+		return nil, err
+	}
+	d := vehicle.DefaultDriver(cruiseKmh / 3.6)
+	d.LaneChangesPerKm = 2
+	d.SteerJitterRad = steerJitter
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road: r, Driver: d, Rng: rand.New(rand.NewSource(seed)), WarmupStopS: warmupS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := sensors.Sample(trip, cfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	ref, err := groundtruth.ReferenceFor(r, rand.New(rand.NewSource(seed+2)))
+	if err != nil {
+		return nil, err
+	}
+	return &workload{road: r, trip: trip, trace: trace, ref: ref}, nil
+}
+
+// runFusedMedian runs the full system on a workload and returns the median
+// absolute error in degrees.
+func runFusedMedian(p *core.Pipeline, w *workload) (float64, error) {
+	prof, _, err := fusedProfile(p, w)
+	if err != nil {
+		return 0, err
+	}
+	return medianOf(profileErrors(prof, w.ref, skipM)), nil
+}
+
+// Misalignment quantifies §III-A end to end: a phone mounted askew corrupts
+// the naive sensor channels; the [14]-style alignment recovers the mount
+// from a stop-and-launch window and restores estimation accuracy.
+func Misalignment(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	mounts := []struct {
+		name  string
+		mount frame.Mount
+	}{
+		{"aligned", frame.Mount{}},
+		{"yaw 20 deg", frame.Mount{Yaw: road.Deg(20)}},
+		{"pitch 10 deg", frame.Mount{Pitch: road.Deg(10)}},
+		{"yaw 30 + pitch 8 + roll 5", frame.Mount{Yaw: road.Deg(30), Pitch: road.Deg(8), Roll: road.Deg(5)}},
+	}
+	var rows [][]string
+	for _, m := range mounts {
+		cfg := sensors.DefaultConfig()
+		cfg.Mount = m.mount
+		// Same seed for every mount: identical trip and noise, so rows
+		// differ only in the mount itself.
+		w, err := redWorkloadWith(opt.Seed+40, cfg, 5)
+		if err != nil {
+			return Table{}, err
+		}
+		// Naive: feed the unaligned channels straight to the pipeline.
+		naive, err := runFusedMedian(p, w)
+		if err != nil {
+			return Table{}, err
+		}
+		// Aligned: recover the mount, rewrite the channels, re-estimate.
+		res, err := sensors.AlignTrace(w.trace)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiment: aligning %s: %w", m.name, err)
+		}
+		aligned, err := runFusedMedian(p, w)
+		if err != nil {
+			return Table{}, err
+		}
+		rows = append(rows, []string{
+			m.name,
+			cell(naive, 3),
+			cell(aligned, 3),
+			cell(sensors.MisalignmentError(res.Mount, m.mount)*180/math.Pi, 2),
+		})
+	}
+	return Table{
+		ID:     "Misalignment",
+		Title:  "Phone mount misalignment: naive vs coordinate-aligned estimation",
+		Note:   "alignment recovers the mount from the trip-start stop-and-launch window (§III-A / [14])",
+		Header: []string{"mount", "naive median |err| (deg)", "aligned median |err| (deg)", "mount estimate error (deg)"},
+		Rows:   rows,
+	}, nil
+}
+
+// MultiVehicle extends Figure 8(b) to the cloud level (§III-C3's closing
+// paragraph): fusing fused profiles from multiple vehicles.
+func MultiVehicle(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	r, err := road.RedRoute()
+	if err != nil {
+		return Table{}, err
+	}
+	ref, err := groundtruth.ReferenceFor(r, rand.New(rand.NewSource(opt.Seed+3)))
+	if err != nil {
+		return Table{}, err
+	}
+	vehicles := 8
+	if opt.Quick {
+		vehicles = 3
+	}
+	var profiles []*fusion.Profile
+	var singles []float64
+	for v := 0; v < vehicles; v++ {
+		d := vehicle.DefaultDriver((34 + 2.5*float64(v)) / 3.6)
+		d.LaneChangesPerKm = 1.5
+		trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+			Road: r, Driver: d, Rng: rand.New(rand.NewSource(opt.Seed + int64(500+v))),
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		trc, err := sensors.Sample(trip, sensors.DefaultConfig(), rand.New(rand.NewSource(opt.Seed+int64(600+v))))
+		if err != nil {
+			return Table{}, err
+		}
+		w := &workload{road: r, trip: trip, trace: trc, ref: ref}
+		prof, _, err := fusedProfile(p, w)
+		if err != nil {
+			return Table{}, err
+		}
+		profiles = append(profiles, prof)
+		singles = append(singles, medianOf(profileErrors(prof, ref, skipM)))
+	}
+	var rows [][]string
+	for n := 1; n <= len(profiles); n++ {
+		fused, err := fusion.FuseProfiles(profiles[:n])
+		if err != nil {
+			return Table{}, err
+		}
+		med := medianOf(profileErrors(fused, ref, skipM))
+		rows = append(rows, []string{fmt.Sprintf("%d", n), cell(med, 3)})
+	}
+	var sum float64
+	for _, s := range singles {
+		sum += s
+	}
+	return Table{
+		ID:     "MultiVehicle",
+		Title:  "Cloud fusion across vehicles (red route)",
+		Note:   fmt.Sprintf("mean single-vehicle median error: %.3f deg", sum/float64(len(singles))),
+		Header: []string{"vehicles fused", "median |err| (deg)"},
+		Rows:   rows,
+	}, nil
+}
+
+// Ablation quantifies each design choice of the proposed system by removing
+// it: the Eq. (2) lane-change correction, the two-pass (forward-backward)
+// EKF sweep, and track fusion itself.
+func Ablation(opt Options) (Table, error) {
+	cal, err := CalibrateFromStudy(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	// An aggressive-lane-change drive so the Eq. (2) ablation has effect
+	// to measure.
+	r, err := road.RedRoute()
+	if err != nil {
+		return Table{}, err
+	}
+	d := vehicle.DefaultDriver(cruiseKmh / 3.6)
+	d.LaneChangesPerKm = 8
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road: r, Driver: d, Rng: rand.New(rand.NewSource(opt.Seed + 73)),
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	trc, err := sensors.Sample(trip, sensors.DefaultConfig(), rand.New(rand.NewSource(opt.Seed+71)))
+	if err != nil {
+		return Table{}, err
+	}
+	ref, err := groundtruth.ReferenceFor(r, rand.New(rand.NewSource(opt.Seed+72)))
+	if err != nil {
+		return Table{}, err
+	}
+	w := &workload{road: r, trip: trip, trace: trc, ref: ref}
+
+	// Spans (in arc length) of the true lane changes, for the localized
+	// error metric.
+	type span struct{ lo, hi float64 }
+	var spans []span
+	for _, ev := range trip.Changes {
+		var lo, hi float64 = math.Inf(1), 0
+		for _, st := range trip.States {
+			if st.T >= ev.StartT && st.T <= ev.EndT {
+				lo = math.Min(lo, st.S)
+				hi = math.Max(hi, st.S)
+			}
+		}
+		if hi > lo {
+			spans = append(spans, span{lo, hi})
+		}
+	}
+	inSpan := func(s float64) bool {
+		for _, sp := range spans {
+			if s >= sp.lo-10 && s <= sp.hi+10 {
+				return true
+			}
+		}
+		return false
+	}
+
+	variants := []struct {
+		name string
+		cfg  core.Config
+		one  bool // single-track (no fusion)
+	}{
+		{"full system", core.Config{Thresholds: cal.Thresholds}, false},
+		{"no lane-change correction", core.Config{Thresholds: cal.Thresholds, DisableLaneChangeCorrection: true}, false},
+		{"no two-pass smoothing", core.Config{Thresholds: cal.Thresholds, DisableTwoPass: true}, false},
+		{"no fusion (speedometer only)", core.Config{Thresholds: cal.Thresholds}, true},
+	}
+	// Reference rows outside the OPS variants: the naive Eq. (3) direct
+	// evaluation with OBD torque, no filtering.
+	adjForDirect, err := func() ([]float64, error) {
+		pl, err := core.NewPipeline(core.Config{Thresholds: cal.Thresholds})
+		if err != nil {
+			return nil, err
+		}
+		adj, err := pl.Adjust(w.trace, w.road.Line())
+		if err != nil {
+			return nil, err
+		}
+		return adj.S, nil
+	}()
+	if err != nil {
+		return Table{}, err
+	}
+	direct, err := baseline.DirectEq3(w.trace, adjForDirect, vehicle.DefaultParams())
+	if err != nil {
+		return Table{}, err
+	}
+	directErrs := seriesErrors(direct.S, direct.GradeRad, w.ref, skipM)
+
+	var rows [][]string
+	for _, v := range variants {
+		p, err := core.NewPipeline(v.cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		var prof *fusion.Profile
+		if v.one {
+			adj, err := p.Adjust(w.trace, w.road.Line())
+			if err != nil {
+				return Table{}, err
+			}
+			tr, err := p.EstimateTrack(w.trace, adj, sensors.SourceSpeedometer)
+			if err != nil {
+				return Table{}, err
+			}
+			if prof, err = fusion.FuseTracks([]*core.Track{tr}, 5, w.road.Length()); err != nil {
+				return Table{}, err
+			}
+		} else {
+			if prof, _, err = fusedProfile(p, w); err != nil {
+				return Table{}, err
+			}
+		}
+		med := medianOf(profileErrors(prof, w.ref, skipM))
+		// Localized metric: mean error over cells inside lane-change spans.
+		var sumLC float64
+		var nLC int
+		for i := range prof.S {
+			if prof.S[i] < skipM || prof.S[i] > w.ref.Length() || !inSpan(prof.S[i]) {
+				continue
+			}
+			truth := refGradeAvg(w.ref, prof.S[i], prof.SpacingM)
+			sumLC += math.Abs(deg(prof.GradeRad[i] - truth))
+			nLC++
+		}
+		lcErr := math.NaN()
+		if nLC > 0 {
+			lcErr = sumLC / float64(nLC)
+		}
+		rows = append(rows, []string{v.name, cell(med, 3), cell(lcErr, 3)})
+	}
+	rows = append(rows, []string{"naive Eq. (3) direct (OBD torque, no filter)", cell(medianOf(directErrs), 3), ""})
+	return Table{
+		ID:     "Ablation",
+		Title:  fmt.Sprintf("Ablation of the proposed system's components (red route, %d lane changes)", len(trip.Changes)),
+		Note:   "the Eq. (2) correction acts only inside lane-change windows (second column). Reproduction finding: at realistic maneuver geometry (heading deviation <= ~10 deg for ~2 s) its effect is within the noise floor — the cos(alpha) speed deviation is ~1%; the components that matter are the two-pass sweep and fusion.",
+		Header: []string{"variant", "median |err| (deg)", "mean |err| in lane changes (deg)"},
+		Rows:   rows,
+	}, nil
+}
+
+// Robustness sweeps sensor failure severity: GPS dropout fraction,
+// accelerometer drift and barometer degradation, reporting the system's
+// graceful degradation (the paper claims robustness to "out of GPS
+// service").
+func Robustness(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	type variant struct {
+		name        string
+		mutate      func(*sensors.Config)
+		steerJitter float64
+	}
+	variants := []variant{
+		{"nominal sensors", func(*sensors.Config) {}, 0},
+		{"GPS dropouts 10x", func(c *sensors.Config) { c.GPSDropoutProb = 0.08 }, 0},
+		{"GPS unavailable", func(c *sensors.Config) { c.GPSDropoutProb = 1; c.GPSDropoutMeanS = 1e9 }, 0},
+		{"accel drift 5x", func(c *sensors.Config) { c.Accel.DriftRate *= 5 }, 0},
+		{"gyro drift 10x", func(c *sensors.Config) { c.Gyro.DriftRate *= 10 }, 0},
+		{"barometer 3x worse", func(c *sensors.Config) { c.Baro.Sigma *= 3; c.Baro.DriftRate *= 3 }, 0},
+		{"driver lane wander", func(*sensors.Config) {}, 0.004},
+	}
+	var rows [][]string
+	for _, v := range variants {
+		cfg := sensors.DefaultConfig()
+		v.mutate(&cfg)
+		// Same seed for every condition: rows differ only in the injected
+		// sensor degradation.
+		w, err := redWorkloadDriver(opt.Seed+80, cfg, 0, v.steerJitter)
+		if err != nil {
+			return Table{}, err
+		}
+		med, err := runFusedMedian(p, w)
+		if err != nil {
+			return Table{}, err
+		}
+		rows = append(rows, []string{v.name, cell(med, 3)})
+	}
+	return Table{
+		ID:     "Robustness",
+		Title:  "Failure injection: fused estimation error under degraded sensors",
+		Note:   "the proposed system keeps working without GPS (localization falls back to odometry; speed sources still flow)",
+		Header: []string{"condition", "median |err| (deg)"},
+		Rows:   rows,
+	}, nil
+}
+
+// SpeedSweep measures estimation accuracy across the 15-65 km/h driving
+// range of the steering study.
+func SpeedSweep(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	r, err := road.RedRoute()
+	if err != nil {
+		return Table{}, err
+	}
+	ref, err := groundtruth.ReferenceFor(r, rand.New(rand.NewSource(opt.Seed+4)))
+	if err != nil {
+		return Table{}, err
+	}
+	speeds := []float64{15, 25, 40, 55, 65}
+	if opt.Quick {
+		speeds = []float64{15, 40, 65}
+	}
+	var rows [][]string
+	for i, kmh := range speeds {
+		d := vehicle.DefaultDriver(kmh / 3.6)
+		d.LaneChangesPerKm = 2
+		trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+			Road: r, Driver: d, Rng: rand.New(rand.NewSource(opt.Seed + int64(90+i))),
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		trc, err := sensors.Sample(trip, sensors.DefaultConfig(), rand.New(rand.NewSource(opt.Seed+int64(95+i))))
+		if err != nil {
+			return Table{}, err
+		}
+		w := &workload{road: r, trip: trip, trace: trc, ref: ref}
+		med, err := runFusedMedian(p, w)
+		if err != nil {
+			return Table{}, err
+		}
+		rows = append(rows, []string{fmt.Sprintf("%.0f", kmh), cell(med, 3)})
+	}
+	return Table{
+		ID:     "SpeedSweep",
+		Title:  "Fused estimation error vs cruise speed (red route)",
+		Header: []string{"speed (km/h)", "median |err| (deg)"},
+		Rows:   rows,
+	}, nil
+}

@@ -1,0 +1,457 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roadgrade/internal/baseline"
+	"roadgrade/internal/core"
+	"roadgrade/internal/fusion"
+	"roadgrade/internal/geo"
+	"roadgrade/internal/groundtruth"
+	"roadgrade/internal/road"
+	"roadgrade/internal/sensors"
+	"roadgrade/internal/stats"
+	"roadgrade/internal/vehicle"
+)
+
+// skipM excludes the first meters of a drive from scoring: every method
+// (including the baselines) needs a short convergence window, and the paper
+// likewise evaluates steady driving.
+const skipM = 100
+
+// trainANNBaseline trains the [8]-style ANN on 4,320 samples collected from
+// terrain-derived training roads disjoint from the evaluation routes.
+func trainANNBaseline(seed int64) (*baseline.ANNEstimator, error) {
+	terrain := road.NewTerrain(seed+17, road.TerrainConfig{})
+	var traces []*sensors.Trace
+	for k := 0; k < 2; k++ {
+		b := road.NewPathBuilder(geo.ENU{E: float64(k) * 3000, N: -2000}, 0.4+0.5*float64(k), 5)
+		b.Straight(6000)
+		line, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ANN training road: %w", err)
+		}
+		prof, err := terrain.ProfileAlong(line, 5)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ANN training profile: %w", err)
+		}
+		r, err := road.NewRoad(fmt.Sprintf("ann-train-%d", k), line, prof, nil, road.ClassLocal)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ANN training road: %w", err)
+		}
+		trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+			Road: r, Driver: vehicle.DefaultDriver(13), Rng: rand.New(rand.NewSource(seed + int64(k))),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ANN training trip: %w", err)
+		}
+		trc, err := sensors.Sample(trip, sensors.DefaultConfig(), rand.New(rand.NewSource(seed+int64(50+k))))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: ANN training trace: %w", err)
+		}
+		traces = append(traces, trc)
+	}
+	return baseline.TrainANN(traces, baseline.PaperTrainingSamples, rand.New(rand.NewSource(seed+99)))
+}
+
+// methodRun holds one workload's per-method absolute errors (degrees).
+type methodRun struct {
+	ops, ekf, ann []float64
+}
+
+// compareMethods runs OPS, the altitude-EKF and the ANN over one workload.
+func compareMethods(w *workload, p *core.Pipeline, annEst *baseline.ANNEstimator) (*methodRun, error) {
+	adj, err := p.Adjust(w.trace, w.road.Line())
+	if err != nil {
+		return nil, err
+	}
+	prof, _, err := fusedProfile(p, w)
+	if err != nil {
+		return nil, err
+	}
+	ekfRes, err := baseline.AltitudeEKF(w.trace, adj.S, baseline.AltEKFConfig{})
+	if err != nil {
+		return nil, err
+	}
+	annRes, err := annEst.Estimate(w.trace, adj.S)
+	if err != nil {
+		return nil, err
+	}
+	return &methodRun{
+		ops: profileErrors(prof, w.ref, skipM),
+		ekf: seriesErrors(ekfRes.S, ekfRes.GradeRad, w.ref, skipM),
+		ann: seriesErrors(annRes.S, annRes.GradeRad, w.ref, skipM),
+	}, nil
+}
+
+// Figure8a reproduces Figure 8(a): absolute estimation error along the red
+// route for OPS, the EKF baseline and the ANN baseline, with the per-method
+// MREs (paper: 11.9%, 20.3%, 31.6%).
+func Figure8a(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	w, err := redRouteWorkload(opt.Seed + 10)
+	if err != nil {
+		return Table{}, err
+	}
+	annEst, err := trainANNBaseline(opt.Seed + 20)
+	if err != nil {
+		return Table{}, err
+	}
+	adj, err := p.Adjust(w.trace, w.road.Line())
+	if err != nil {
+		return Table{}, err
+	}
+	prof, _, err := fusedProfile(p, w)
+	if err != nil {
+		return Table{}, err
+	}
+	ekfRes, err := baseline.AltitudeEKF(w.trace, adj.S, baseline.AltEKFConfig{})
+	if err != nil {
+		return Table{}, err
+	}
+	annRes, err := annEst.Estimate(w.trace, adj.S)
+	if err != nil {
+		return Table{}, err
+	}
+
+	// Error-vs-position rows every 100 m.
+	lookup := func(s []float64, g []float64, at float64) float64 {
+		best, bestD := math.NaN(), math.Inf(1)
+		for i := range s {
+			if d := math.Abs(s[i] - at); d < bestD {
+				bestD = d
+				best = g[i]
+			}
+		}
+		return best
+	}
+	var rows [][]string
+	for at := 100.0; at < w.road.Length(); at += 100 {
+		truth := refGradeAvg(w.ref, at, 5)
+		rows = append(rows, []string{
+			cell(at, 0),
+			cell(math.Abs(deg(prof.GradeAt(at)-truth)), 3),
+			cell(math.Abs(deg(lookup(ekfRes.S, ekfRes.GradeRad, at)-truth)), 3),
+			cell(math.Abs(deg(lookup(annRes.S, annRes.GradeRad, at)-truth)), 3),
+		})
+	}
+	opsMRE := profileMRE(prof, w.ref, skipM)
+	ekfMRE := seriesMRE(ekfRes.S, ekfRes.GradeRad, w.ref, skipM)
+	annMRE := seriesMRE(annRes.S, annRes.GradeRad, w.ref, skipM)
+	return Table{
+		ID:    "Figure8a",
+		Title: "Absolute road gradient estimation error vs position (red route)",
+		Note: fmt.Sprintf("MRE: OPS=%.1f%% EKF=%.1f%% ANN=%.1f%% (paper: 11.9%% / 20.3%% / 31.6%%)",
+			opsMRE*100, ekfMRE*100, annMRE*100),
+		Header: []string{"position (m)", "OPS |err| (deg)", "EKF |err| (deg)", "ANN |err| (deg)"},
+		Rows:   rows,
+	}, nil
+}
+
+// Figure8b reproduces Figure 8(b): error CDFs of the proposed system when
+// fusing 1..4 velocity-source tracks (paper: median 0.23° with one track,
+// ≈0.09° with fusion; 3+ tracks saturate).
+func Figure8b(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	w, err := redRouteWorkload(opt.Seed + 10)
+	if err != nil {
+		return Table{}, err
+	}
+	tracks, err := p.EstimateAll(w.trace, w.road.Line())
+	if err != nil {
+		return Table{}, err
+	}
+	var cdfs []*stats.CDF
+	for n := 1; n <= len(tracks); n++ {
+		prof, err := fusion.FuseTracks(tracks[:n], 5, w.road.Length())
+		if err != nil {
+			return Table{}, err
+		}
+		errs := profileErrors(prof, w.ref, skipM)
+		cdf, err := stats.NewCDF(errs)
+		if err != nil {
+			return Table{}, err
+		}
+		cdfs = append(cdfs, cdf)
+	}
+	header := []string{"metric"}
+	for n := range cdfs {
+		header = append(header, fmt.Sprintf("%d track(s)", n+1))
+	}
+	quantRow := func(label string, q float64) []string {
+		row := []string{label}
+		for _, cdf := range cdfs {
+			v, _ := cdf.Quantile(q)
+			row = append(row, cell(v, 3))
+		}
+		return row
+	}
+	rows := [][]string{
+		quantRow("median |err| (deg)", 0.5),
+		quantRow("p90 |err| (deg)", 0.9),
+	}
+	for _, lv := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 1.0} {
+		rowCells := []string{fmt.Sprintf("P(err<=%.2f deg)", lv)}
+		for _, cdf := range cdfs {
+			rowCells = append(rowCells, cell(cdf.At(lv), 2))
+		}
+		rows = append(rows, rowCells)
+	}
+	return Table{
+		ID:     "Figure8b",
+		Title:  "Error CDFs for different numbers of fused tracks (red route)",
+		Note:   "paper: median 0.23 deg unfused vs ~0.09 deg fused; 3+ tracks saturate",
+		Header: header,
+		Rows:   rows,
+	}, nil
+}
+
+// networkWorkloads simulates a drive over each edge of a synthetic city
+// network, returning per-edge workloads.
+func networkWorkloads(opt Options) ([]*workload, float64, error) {
+	targetKM := 164.8
+	if opt.Quick {
+		targetKM = 6
+	}
+	// Default seed 1 reproduces the canonical road.Charlottesville()
+	// stand-in (terrain seed 1827).
+	net, err := road.GenerateNetwork(opt.Seed+1826, road.NetworkConfig{TargetStreetKM: targetKM})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Select the drivable edges and pre-assign deterministic seeds, then
+	// build the per-edge workloads in parallel (they are independent).
+	type job struct {
+		road                         *road.Road
+		tripSeed, traceSeed, refSeed int64
+	}
+	var jobs []job
+	var coveredKM float64
+	rng := rand.New(rand.NewSource(opt.Seed + 5))
+	for i, e := range net.Edges {
+		// One direction per street suffices for the map.
+		if i%2 == 1 {
+			continue
+		}
+		r := e.Road
+		if r.Length() < 150 {
+			continue
+		}
+		jobs = append(jobs, job{
+			road: r, tripSeed: rng.Int63(), traceSeed: rng.Int63(), refSeed: rng.Int63(),
+		})
+		coveredKM += r.Length() / 1000
+	}
+	if len(jobs) == 0 {
+		return nil, 0, errors.New("experiment: network produced no drivable edges")
+	}
+	out := make([]*workload, len(jobs))
+	err = parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		d := vehicle.DefaultDriver(cruiseKmh / 3.6)
+		d.LaneChangesPerKm = 1.5
+		trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+			Road: j.road, Driver: d, Rng: rand.New(rand.NewSource(j.tripSeed)),
+		})
+		if err != nil {
+			return fmt.Errorf("experiment: trip on %s: %w", j.road.ID(), err)
+		}
+		trc, err := sensors.Sample(trip, sensors.DefaultConfig(), rand.New(rand.NewSource(j.traceSeed)))
+		if err != nil {
+			return fmt.Errorf("experiment: trace on %s: %w", j.road.ID(), err)
+		}
+		ref, err := groundtruth.ReferenceFor(j.road, rand.New(rand.NewSource(j.refSeed)))
+		if err != nil {
+			return fmt.Errorf("experiment: reference for %s: %w", j.road.ID(), err)
+		}
+		out[i] = &workload{road: j.road, trip: trip, trace: trc, ref: ref}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, coveredKM, nil
+}
+
+// Figure9a reproduces Figure 9(a): the estimated road gradient map of the
+// city network and its MRE (paper: 12.4%, close to the small-scale result).
+func Figure9a(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	works, coveredKM, err := networkWorkloads(opt)
+	if err != nil {
+		return Table{}, err
+	}
+	profs := make([]*fusion.Profile, len(works))
+	if err := parallelFor(len(works), func(i int) error {
+		prof, _, err := fusedProfile(p, works[i])
+		if err != nil {
+			return fmt.Errorf("experiment: %s: %w", works[i].road.ID(), err)
+		}
+		profs[i] = prof
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+	var num, den float64
+	var allErrs []float64
+	var gradeBins [5]int // |grade| histogram for the map's color scale
+	for wi, w := range works {
+		prof := profs[wi]
+		for i := range prof.S {
+			if prof.S[i] < skipM || prof.S[i] > w.ref.Length() {
+				continue
+			}
+			truth := refGradeAvg(w.ref, prof.S[i], prof.SpacingM)
+			num += math.Abs(prof.GradeRad[i] - truth)
+			den += math.Abs(truth)
+			allErrs = append(allErrs, math.Abs(deg(prof.GradeRad[i]-truth)))
+			bin := int(math.Abs(deg(prof.GradeRad[i])))
+			if bin > 4 {
+				bin = 4
+			}
+			gradeBins[bin]++
+		}
+	}
+	mre := num / den
+	med := medianOf(allErrs)
+	total := 0
+	for _, c := range gradeBins {
+		total += c
+	}
+	rows := [][]string{
+		{"roads driven", fmt.Sprintf("%d", len(works))},
+		{"street km covered", cell(coveredKM, 1)},
+		{"MRE", fmt.Sprintf("%.1f%% (paper: 12.4%%)", mre*100)},
+		{"median |err|", cell(med, 3) + " deg"},
+	}
+	labels := []string{"0-1", "1-2", "2-3", "3-4", ">=4"}
+	for i, c := range gradeBins {
+		rows = append(rows, []string{
+			fmt.Sprintf("|grade| %s deg (map share)", labels[i]),
+			fmt.Sprintf("%.1f%%", 100*float64(c)/float64(total)),
+		})
+	}
+	return Table{
+		ID:     "Figure9a",
+		Title:  "Estimated road gradient of the city network",
+		Note:   "map rendered as the estimated-|grade| distribution over all road cells",
+		Header: []string{"metric", "value"},
+		Rows:   rows,
+	}, nil
+}
+
+// Figure9b reproduces Figure 9(b): large-scale error CDFs of OPS vs the EKF
+// and ANN baselines (paper medians: 0.09 / 0.13 / 0.36 degrees).
+func Figure9b(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	annEst, err := trainANNBaseline(opt.Seed + 20)
+	if err != nil {
+		return Table{}, err
+	}
+	works, _, err := networkWorkloads(opt)
+	if err != nil {
+		return Table{}, err
+	}
+	runs := make([]*methodRun, len(works))
+	if err := parallelFor(len(works), func(i int) error {
+		run, err := compareMethods(works[i], p, annEst)
+		if err != nil {
+			return fmt.Errorf("experiment: %s: %w", works[i].road.ID(), err)
+		}
+		runs[i] = run
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+	var ops, ekf, ann []float64
+	for _, run := range runs {
+		ops = append(ops, run.ops...)
+		ekf = append(ekf, run.ekf...)
+		ann = append(ann, run.ann...)
+	}
+	build := func(errs []float64) (*stats.CDF, error) { return stats.NewCDF(errs) }
+	opsCDF, err := build(ops)
+	if err != nil {
+		return Table{}, err
+	}
+	ekfCDF, err := build(ekf)
+	if err != nil {
+		return Table{}, err
+	}
+	annCDF, err := build(ann)
+	if err != nil {
+		return Table{}, err
+	}
+	medOPS, _ := opsCDF.Quantile(0.5)
+	medEKF, _ := ekfCDF.Quantile(0.5)
+	medANN, _ := annCDF.Quantile(0.5)
+	rows := [][]string{
+		{"median |err| (deg)", cell(medOPS, 3), cell(medEKF, 3), cell(medANN, 3)},
+	}
+	for _, lv := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 1.0} {
+		rows = append(rows, []string{
+			fmt.Sprintf("P(err<=%.2f deg)", lv),
+			cell(opsCDF.At(lv), 2), cell(ekfCDF.At(lv), 2), cell(annCDF.At(lv), 2),
+		})
+	}
+	return Table{
+		ID:     "Figure9b",
+		Title:  "Large-scale error CDFs: OPS vs EKF vs ANN",
+		Note:   "paper medians at y=0.5: OPS 0.09, EKF 0.13, ANN 0.36 (deg)",
+		Header: []string{"metric", "OPS", "EKF", "ANN"},
+		Rows:   rows,
+	}, nil
+}
+
+// Headline reproduces the abstract's estimation-error claim: the error
+// reduction of OPS relative to the best existing method (paper: 22%).
+func Headline(opt Options) (Table, error) {
+	p, _, err := opsPipeline(opt.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	annEst, err := trainANNBaseline(opt.Seed + 20)
+	if err != nil {
+		return Table{}, err
+	}
+	w, err := redRouteWorkload(opt.Seed + 10)
+	if err != nil {
+		return Table{}, err
+	}
+	run, err := compareMethods(w, p, annEst)
+	if err != nil {
+		return Table{}, err
+	}
+	opsMed := medianOf(run.ops)
+	ekfMed := medianOf(run.ekf)
+	annMed := medianOf(run.ann)
+	best := math.Min(ekfMed, annMed)
+	reduction := (best - opsMed) / best
+	return Table{
+		ID:     "Headline",
+		Title:  "Estimation error reduction vs existing methods",
+		Note:   "paper abstract: error reduced by 22% compared with existing methods",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"OPS median |err| (deg)", cell(opsMed, 3)},
+			{"EKF median |err| (deg)", cell(ekfMed, 3)},
+			{"ANN median |err| (deg)", cell(annMed, 3)},
+			{"reduction vs best baseline", fmt.Sprintf("%.0f%%", reduction*100)},
+		},
+	}, nil
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool and
+// returns the first error. Each index must be independent; determinism comes
+// from assigning any randomness (seeds) to indices before the parallel
+// phase. After an error, remaining indices are skipped (drained) rather than
+// executed.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed() {
+					continue // drain remaining work without running it
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,296 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"roadgrade/internal/geo"
+	"roadgrade/internal/road"
+)
+
+func TestVec3Ops(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 5, 6}
+	if got := a.Add(b); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := b.Sub(a); got != (Vec3{3, 3, 3}) {
+		t.Errorf("Sub = %+v", got)
+	}
+	if got := a.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %+v", got)
+	}
+	if got := a.Dot(b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestRotationsOrthonormal(t *testing.T) {
+	rots := []Rotation{
+		IdentityRotation(),
+		RotX(0.3), RotY(-1.1), RotZ(2.5),
+		RotZ(0.5).Mul(RotX(0.2)).Mul(RotY(-0.7)),
+	}
+	for i, r := range rots {
+		if !r.IsOrthonormal(1e-12) {
+			t.Errorf("rotation %d not orthonormal", i)
+		}
+	}
+}
+
+func TestRotZApply(t *testing.T) {
+	// 90° about Z maps +X to +Y.
+	got := RotZ(math.Pi / 2).Apply(Vec3{1, 0, 0})
+	if math.Abs(got.X) > 1e-12 || math.Abs(got.Y-1) > 1e-12 || math.Abs(got.Z) > 1e-12 {
+		t.Errorf("RotZ(90°)·X = %+v, want +Y", got)
+	}
+}
+
+func TestRotXApply(t *testing.T) {
+	// 90° about X maps +Y to +Z.
+	got := RotX(math.Pi / 2).Apply(Vec3{0, 1, 0})
+	if math.Abs(got.Y) > 1e-12 || math.Abs(got.Z-1) > 1e-12 {
+		t.Errorf("RotX(90°)·Y = %+v, want +Z", got)
+	}
+}
+
+func TestRotYApply(t *testing.T) {
+	// 90° about Y maps +Z to +X.
+	got := RotY(math.Pi / 2).Apply(Vec3{0, 0, 1})
+	if math.Abs(got.Z) > 1e-12 || math.Abs(got.X-1) > 1e-12 {
+		t.Errorf("RotY(90°)·Z = %+v, want +X", got)
+	}
+}
+
+func TestTransposeInverts(t *testing.T) {
+	f := func(yaw, pitch, roll float64) bool {
+		r := RotZ(math.Mod(yaw, math.Pi)).
+			Mul(RotX(math.Mod(pitch, math.Pi))).
+			Mul(RotY(math.Mod(roll, math.Pi)))
+		v := Vec3{1.2, -0.7, 2.1}
+		back := r.Transpose().Apply(r.Apply(v))
+		return back.Sub(v).Norm() < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMountRoundTrip(t *testing.T) {
+	m := Mount{Yaw: 0.4, Pitch: -0.15, Roll: 0.08}
+	v := Vec3{0.3, 1.7, 9.5}
+	phone := m.PhoneReading(v)
+	back := m.VehicleReading(phone)
+	if back.Sub(v).Norm() > 1e-12 {
+		t.Errorf("mount round trip error %v", back.Sub(v).Norm())
+	}
+}
+
+func TestEstimateMountRecovers(t *testing.T) {
+	const g = 9.81
+	tests := []Mount{
+		{},
+		{Yaw: 0.6},
+		{Pitch: 0.2},
+		{Roll: -0.25},
+		{Yaw: -1.1, Pitch: 0.12, Roll: 0.18},
+		{Yaw: 2.2, Pitch: -0.3, Roll: -0.1},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, want := range tests {
+		// Stationary: gravity specific force (0,0,g) in vehicle frame.
+		// Accelerating: gravity + 1.5 m/s² forward.
+		var stationary, accelerating []Vec3
+		for i := 0; i < 200; i++ {
+			noise := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}.Scale(0.02)
+			stationary = append(stationary, want.PhoneReading(Vec3{0, 0, g}).Add(noise))
+			accelerating = append(accelerating, want.PhoneReading(Vec3{0, 1.5, g}).Add(noise))
+		}
+		got, err := EstimateMount(stationary, accelerating)
+		if err != nil {
+			t.Fatalf("mount %+v: %v", want, err)
+		}
+		if math.Abs(geo.AngleDiff(got.Yaw, want.Yaw)) > 0.02 ||
+			math.Abs(got.Pitch-want.Pitch) > 0.02 ||
+			math.Abs(got.Roll-want.Roll) > 0.02 {
+			t.Errorf("EstimateMount = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestEstimateMountErrors(t *testing.T) {
+	if _, err := EstimateMount(nil, []Vec3{{0, 1, 9.8}}); err == nil {
+		t.Error("missing stationary samples should error")
+	}
+	if _, err := EstimateMount([]Vec3{{0, 0, 9.8}}, nil); err == nil {
+		t.Error("missing accelerating samples should error")
+	}
+	// Tiny gravity (broken data).
+	if _, err := EstimateMount([]Vec3{{0, 0, 0.1}}, []Vec3{{0, 1, 0.1}}); err == nil {
+		t.Error("tiny gravity should error")
+	}
+	// No forward acceleration -> yaw unresolvable.
+	still := []Vec3{{0, 0, 9.8}}
+	if _, err := EstimateMount(still, still); err == nil {
+		t.Error("no forward acceleration should error")
+	}
+}
+
+func TestNewSteeringEstimator(t *testing.T) {
+	if _, err := NewSteeringEstimator(nil, 80); err == nil {
+		t.Error("nil line should error")
+	}
+	line, _ := geo.NewPolyline([]geo.ENU{{E: 0, N: 0}, {E: 50, N: 0}})
+	e, err := NewSteeringEstimator(line, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.HeadingWindowM != 50 {
+		t.Errorf("window clamped to %v, want 50", e.HeadingWindowM)
+	}
+}
+
+func TestSteerRatesStraightRoad(t *testing.T) {
+	// On a straight road, w_road = 0, so w_steer equals the gyro reading.
+	line, _ := geo.NewPolyline([]geo.ENU{{E: 0, N: 0}, {E: 1000, N: 0}})
+	e, err := NewSteeringEstimator(line, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gyro := []float64{0, 0.1, -0.1, 0.05}
+	speed := []float64{10, 10, 10, 10}
+	got, err := e.SteerRates(0.05, gyro, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gyro {
+		if math.Abs(got[i]-gyro[i]) > 1e-9 {
+			t.Errorf("steer[%d] = %v, want %v", i, got[i], gyro[i])
+		}
+	}
+}
+
+func TestSteerRatesCenteredCurveCancels(t *testing.T) {
+	// A vehicle tracking the centerline of a long constant curve has
+	// gyro = true road rate; the coarse map rate approaches the same value
+	// inside the arc, so steering residual is small there.
+	b := road.NewPathBuilder(geo.ENU{}, 0, 2)
+	b.Straight(300).Arc(200, 0.8).Straight(300)
+	line, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSteeringEstimator(line, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const v, dt = 12.0, 0.05
+	n := int(line.Length() / v / dt)
+	gyro := make([]float64, n)
+	speed := make([]float64, n)
+	var s float64
+	for i := 0; i < n; i++ {
+		speed[i] = v
+		gyro[i] = line.CurvatureAt(s, 2) * v // true yaw rate on centerline
+		s += v * dt
+	}
+	steer, err := e.SteerRates(dt, gyro, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep inside the arc (skip the window-length transition at entry and
+	// exit) the residual must be far below the bump threshold.
+	arcStart, arcEnd := 300.0, 300+200*0.8
+	s = 0
+	for i := 0; i < n; i++ {
+		if s > arcStart+60 && s < arcEnd-60 {
+			if math.Abs(steer[i]) > 0.02 {
+				t.Fatalf("residual %v at s=%v inside arc", steer[i], s)
+			}
+		}
+		s += v * dt
+	}
+}
+
+func TestSteerRatesSCurveLeaksBumps(t *testing.T) {
+	// Through a tight S-curve, the coarse map heading smooths the true
+	// rate, so the residual w_steer shows large paired bumps — the
+	// false-positive source the displacement test must reject.
+	r, err := road.SCurveRoad(60, road.Deg(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSteeringEstimator(r.Line(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const v, dt = 11.0, 0.05
+	n := int(r.Length() / v / dt)
+	gyro := make([]float64, n)
+	speed := make([]float64, n)
+	var s float64
+	for i := 0; i < n; i++ {
+		speed[i] = v
+		gyro[i] = r.Line().CurvatureAt(s, 2) * v
+		s += v * dt
+	}
+	steer, err := e.SteerRates(dt, gyro, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxPos, maxNeg float64
+	for _, w := range steer {
+		maxPos = math.Max(maxPos, w)
+		maxNeg = math.Min(maxNeg, w)
+	}
+	if maxPos < 0.08 || maxNeg > -0.08 {
+		t.Errorf("S-curve residual bumps too small: +%v %v", maxPos, maxNeg)
+	}
+}
+
+func TestSteerRatesErrors(t *testing.T) {
+	line, _ := geo.NewPolyline([]geo.ENU{{E: 0, N: 0}, {E: 100, N: 0}})
+	e, _ := NewSteeringEstimator(line, 50)
+	if _, err := e.SteerRates(0, []float64{1}, []float64{1}); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := e.SteerRates(0.05, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestRoadRateAtZeroSpeed(t *testing.T) {
+	line, _ := geo.NewPolyline([]geo.ENU{{E: 0, N: 0}, {E: 100, N: 0}})
+	e, _ := NewSteeringEstimator(line, 50)
+	if got := e.RoadRateAt(50, 0); got != 0 {
+		t.Errorf("RoadRateAt(v=0) = %v", got)
+	}
+}
+
+func BenchmarkSteerRates(b *testing.B) {
+	r, err := road.SCurveRoad(60, road.Deg(35))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewSteeringEstimator(r.Line(), 80)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 2000
+	gyro := make([]float64, n)
+	speed := make([]float64, n)
+	for i := range speed {
+		speed[i] = 11
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SteerRates(0.05, gyro, speed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

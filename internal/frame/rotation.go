@@ -1,0 +1,183 @@
+// Package frame implements the smartphone coordinate alignment system of
+// §III-A: 3-D rotations between the phone frame (X_B, Y_B, Z_B), the vehicle
+// frame and the road/earth frame (X_E, Y_E, Z_E); recovery of an unknown
+// phone mounting orientation from accelerometer statistics (the role of
+// reference [14]); and the steering-rate derivation
+// w_steer = ŵ_vehicle − w_road that feeds lane-change detection.
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-vector in some frame, components (X, Y, Z).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + u.
+func (v Vec3) Add(u Vec3) Vec3 { return Vec3{v.X + u.X, v.Y + u.Y, v.Z + u.Z} }
+
+// Sub returns v - u.
+func (v Vec3) Sub(u Vec3) Vec3 { return Vec3{v.X - u.X, v.Y - u.Y, v.Z - u.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product.
+func (v Vec3) Dot(u Vec3) float64 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// Norm returns the Euclidean norm.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Rotation is a 3x3 rotation matrix, row-major.
+type Rotation [9]float64
+
+// IdentityRotation returns the identity rotation.
+func IdentityRotation() Rotation {
+	return Rotation{1, 0, 0, 0, 1, 0, 0, 0, 1}
+}
+
+// RotZ returns a rotation by angle a about the Z axis (yaw, CCW positive).
+func RotZ(a float64) Rotation {
+	c, s := math.Cos(a), math.Sin(a)
+	return Rotation{c, -s, 0, s, c, 0, 0, 0, 1}
+}
+
+// RotX returns a rotation by angle a about the X axis (roll-style).
+func RotX(a float64) Rotation {
+	c, s := math.Cos(a), math.Sin(a)
+	return Rotation{1, 0, 0, 0, c, -s, 0, s, c}
+}
+
+// RotY returns a rotation by angle a about the Y axis (pitch-style).
+func RotY(a float64) Rotation {
+	c, s := math.Cos(a), math.Sin(a)
+	return Rotation{c, 0, s, 0, 1, 0, -s, 0, c}
+}
+
+// Mul returns r ∘ q (apply q, then r).
+func (r Rotation) Mul(q Rotation) Rotation {
+	var out Rotation
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += r[i*3+k] * q[k*3+j]
+			}
+			out[i*3+j] = s
+		}
+	}
+	return out
+}
+
+// Apply rotates v.
+func (r Rotation) Apply(v Vec3) Vec3 {
+	return Vec3{
+		X: r[0]*v.X + r[1]*v.Y + r[2]*v.Z,
+		Y: r[3]*v.X + r[4]*v.Y + r[5]*v.Z,
+		Z: r[6]*v.X + r[7]*v.Y + r[8]*v.Z,
+	}
+}
+
+// Transpose returns the inverse rotation.
+func (r Rotation) Transpose() Rotation {
+	return Rotation{
+		r[0], r[3], r[6],
+		r[1], r[4], r[7],
+		r[2], r[5], r[8],
+	}
+}
+
+// IsOrthonormal checks R Rᵀ ≈ I within tol.
+func (r Rotation) IsOrthonormal(tol float64) bool {
+	prod := r.Mul(r.Transpose())
+	id := IdentityRotation()
+	for i := range prod {
+		if math.Abs(prod[i]-id[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Mount is the phone's orientation inside the vehicle, as intrinsic
+// Z-Y-X (yaw, pitch, roll) angles from the aligned pose: Y_B forward,
+// X_B right, Z_B up.
+type Mount struct {
+	Yaw   float64 // rotation about vehicle up axis
+	Pitch float64 // rotation about vehicle lateral axis
+	Roll  float64 // rotation about vehicle forward axis
+}
+
+// Rotation returns the vehicle-to-phone rotation: p_phone = R · p_vehicle.
+func (m Mount) Rotation() Rotation {
+	// Intrinsic yaw (Z), then pitch (X: about lateral axis since Y is
+	// forward), then roll (Y: about forward axis). Inverted to map
+	// vehicle->phone.
+	vehicleToPhone := RotY(m.Roll).Mul(RotX(m.Pitch)).Mul(RotZ(m.Yaw))
+	return vehicleToPhone
+}
+
+// PhoneReading converts a vehicle-frame quantity into what the phone's
+// sensors report under this mount.
+func (m Mount) PhoneReading(vehicleFrame Vec3) Vec3 {
+	return m.Rotation().Apply(vehicleFrame)
+}
+
+// VehicleReading converts a phone-frame reading back to the vehicle frame.
+func (m Mount) VehicleReading(phoneFrame Vec3) Vec3 {
+	return m.Rotation().Transpose().Apply(phoneFrame)
+}
+
+// EstimateMount recovers the phone mounting orientation from accelerometer
+// samples using the standard two-phase procedure of [14]: pitch and roll
+// come from the mean gravity direction while the vehicle is stationary;
+// yaw comes from the horizontal direction of forward acceleration while the
+// vehicle speeds up in a straight line.
+//
+// stationary carries phone-frame specific-force samples at rest (gravity
+// only); accelerating carries phone-frame samples during forward
+// acceleration (gravity + forward force).
+func EstimateMount(stationary, accelerating []Vec3) (Mount, error) {
+	if len(stationary) == 0 || len(accelerating) == 0 {
+		return Mount{}, errors.New("frame: need both stationary and accelerating samples")
+	}
+	gMean := meanVec(stationary)
+	gNorm := gMean.Norm()
+	if gNorm < 1 {
+		return Mount{}, fmt.Errorf("frame: stationary gravity magnitude %v too small", gNorm)
+	}
+
+	// In the aligned pose gravity reads (0, 0, +g) (specific force of a
+	// phone at rest points up). Find the rotation that moves the measured
+	// gravity back to +Z: first roll about Y, then pitch about X.
+	g := gMean.Scale(1 / gNorm)
+	roll := math.Atan2(g.X, g.Z)
+	gAfterRoll := RotY(-roll).Apply(g)
+	pitch := math.Atan2(-gAfterRoll.Y, gAfterRoll.Z)
+	level := RotX(-pitch).Mul(RotY(-roll))
+
+	// Horizontal forward acceleration direction gives yaw.
+	aMean := meanVec(accelerating).Sub(gMean)
+	aLevel := level.Apply(aMean)
+	horiz := math.Hypot(aLevel.X, aLevel.Y)
+	if horiz < 0.05 {
+		return Mount{}, fmt.Errorf("frame: forward acceleration %v too small to resolve yaw", horiz)
+	}
+	// Forward is +Y in the aligned pose. After levelling, the residual
+	// rotation is RotZ(yaw), which maps vehicle-forward (0, a, 0) to
+	// (-a·sin(yaw), a·cos(yaw), 0); invert that.
+	yaw := math.Atan2(-aLevel.X, aLevel.Y)
+	return Mount{Yaw: yaw, Pitch: pitch, Roll: roll}, nil
+}
+
+func meanVec(vs []Vec3) Vec3 {
+	var sum Vec3
+	for _, v := range vs {
+		sum = sum.Add(v)
+	}
+	return sum.Scale(1 / float64(len(vs)))
+}

@@ -1,0 +1,98 @@
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/geo"
+)
+
+// SteeringEstimator derives the vehicle steering rate from the gyroscope and
+// map geography:
+//
+//	w_steer(t) = ŵ_vehicle(t) − w_road(t)
+//
+// ŵ_vehicle is the measured yaw rate. w_road comes from the road polyline:
+// the map heading is evaluated at coarse granularity (HeadingWindowM-meter
+// chords), matching how real map data resolves direction. The coarseness is
+// deliberate — it is why an S-curve leaks paired bumps into w_steer and must
+// be rejected by the horizontal-displacement test (DESIGN.md interpretation
+// choice 2).
+type SteeringEstimator struct {
+	// Line is the map geometry of the road being driven.
+	Line *geo.Polyline
+	// HeadingWindowM is the chord length used to evaluate map headings
+	// (default DefaultHeadingWindowM).
+	HeadingWindowM float64
+}
+
+// DefaultHeadingWindowM is the default map-heading granularity: block scale
+// (250 m). It must exceed the extent of an S-curve so the full curve rate
+// leaks into w_steer and the Eq. (1) displacement test can reject it; at
+// finer granularity the residual heading deviation partially cancels and an
+// S-curve can masquerade as a lane change.
+const DefaultHeadingWindowM = 250.0
+
+// NewSteeringEstimator validates and returns an estimator.
+func NewSteeringEstimator(line *geo.Polyline, headingWindowM float64) (*SteeringEstimator, error) {
+	if line == nil {
+		return nil, errors.New("frame: nil road line")
+	}
+	if headingWindowM <= 0 {
+		headingWindowM = DefaultHeadingWindowM
+	}
+	if headingWindowM > line.Length() {
+		headingWindowM = line.Length()
+	}
+	return &SteeringEstimator{Line: line, HeadingWindowM: headingWindowM}, nil
+}
+
+// mapHeading returns the coarse map heading at arc length s: the direction
+// of the chord spanning the window centred on s.
+func (e *SteeringEstimator) mapHeading(s float64) float64 {
+	h := e.HeadingWindowM / 2
+	s0 := math.Max(0, s-h)
+	s1 := math.Min(e.Line.Length(), s+h)
+	a := e.Line.At(s0)
+	b := e.Line.At(s1)
+	return math.Atan2(b.N-a.N, b.E-a.E)
+}
+
+// RoadRateAt returns w_road at arc length s for a vehicle moving at speed v:
+// the coarse heading change across the window divided by the time to
+// traverse it.
+func (e *SteeringEstimator) RoadRateAt(s, v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	h := e.HeadingWindowM / 2
+	s0 := math.Max(0, s-h)
+	s1 := math.Min(e.Line.Length(), s+h)
+	if s1-s0 < 1e-9 {
+		return 0
+	}
+	d0 := e.mapHeading(s0)
+	d1 := e.mapHeading(s1)
+	return geo.AngleDiff(d0, d1) * v / (s1 - s0)
+}
+
+// SteerRates computes the steering-rate profile from gyroscope yaw rates and
+// measured speeds sampled at interval dt. Arc position is dead-reckoned by
+// integrating speed (odometry), which is how the phone localizes itself on
+// the map between GPS fixes.
+func (e *SteeringEstimator) SteerRates(dt float64, gyroYaw, speed []float64) ([]float64, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("frame: invalid dt %v", dt)
+	}
+	if len(gyroYaw) != len(speed) {
+		return nil, fmt.Errorf("frame: gyro/speed length mismatch %d vs %d", len(gyroYaw), len(speed))
+	}
+	out := make([]float64, len(gyroYaw))
+	var s float64
+	for i := range gyroYaw {
+		out[i] = gyroYaw[i] - e.RoadRateAt(s, speed[i])
+		s += speed[i] * dt
+	}
+	return out, nil
+}

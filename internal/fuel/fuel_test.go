@@ -1,0 +1,347 @@
+package fuel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadgrade/internal/road"
+)
+
+func TestTableIIValid(t *testing.T) {
+	if err := TableII().Validate(); err != nil {
+		t.Fatalf("TableII invalid: %v", err)
+	}
+	if PaperTableII[0] != 0.0545 || PaperTableII[5] != 1.479 {
+		t.Error("printed Table II constants changed")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*VSPParams)
+	}{
+		{"gge", func(p *VSPParams) { p.GGEWhPerGallon = 0 }},
+		{"eff-zero", func(p *VSPParams) { p.Efficiency = 0 }},
+		{"eff-big", func(p *VSPParams) { p.Efficiency = 1.5 }},
+		{"mass", func(p *VSPParams) { p.MassTon = 0 }},
+		{"idle", func(p *VSPParams) { p.IdleGPH = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := TableII()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestRateGPHPlausible(t *testing.T) {
+	p := TableII()
+	v := 40.0 / 3.6
+	flat := p.RateGPH(v, 0, 0)
+	// A 1.5-ton car cruising at 40 km/h burns a fraction of a gallon/hour.
+	if flat < 0.2 || flat > 1.2 {
+		t.Errorf("flat cruise fuel = %v gal/h, implausible", flat)
+	}
+}
+
+func TestRateGPHGradeEffect(t *testing.T) {
+	p := TableII()
+	v := 40.0 / 3.6
+	flat := p.RateGPH(v, 0, 0)
+	up5 := p.RateGPH(v, 0, road.Deg(5))
+	down5 := p.RateGPH(v, 0, road.Deg(-5))
+	// Frey et al. [2]: fuel can increase ~40%+ from 0° to 5°; our physical
+	// model gives substantially more than that at steady speed.
+	if up5 < flat*1.4 {
+		t.Errorf("uphill 5° fuel %v not >= 1.4x flat %v", up5, flat)
+	}
+	// Downhill clamps to idle, never negative.
+	if down5 != p.IdleGPH {
+		t.Errorf("downhill fuel %v, want idle %v", down5, p.IdleGPH)
+	}
+	// Monotone in grade over the driving range.
+	prev := -1.0
+	for g := -6.0; g <= 6; g += 0.5 {
+		cur := p.RateGPH(v, 0, road.Deg(g))
+		if cur < prev {
+			t.Fatalf("fuel not monotone at grade %v", g)
+		}
+		prev = cur
+	}
+}
+
+func TestRateGPHAccelerationEffect(t *testing.T) {
+	p := TableII()
+	v := 40.0 / 3.6
+	if p.RateGPH(v, 1.5, 0) <= p.RateGPH(v, 0, 0) {
+		t.Error("acceleration should cost fuel")
+	}
+}
+
+func TestTripFuel(t *testing.T) {
+	p := TableII()
+	n := 3600 * 20 // one hour at 20 Hz
+	v := make([]float64, n)
+	a := make([]float64, n)
+	g := make([]float64, n)
+	for i := range v {
+		v[i] = 40.0 / 3.6
+	}
+	total, err := TripFuel(p, 0.05, v, a, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.RateGPH(40.0/3.6, 0, 0)
+	if math.Abs(total-want) > want*0.01 {
+		t.Errorf("one-hour trip fuel %v, want %v", total, want)
+	}
+	// Errors.
+	if _, err := TripFuel(p, 0, v, a, g); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := TripFuel(p, 0.05, v[:5], a, g); err == nil {
+		t.Error("length mismatch should error")
+	}
+	bad := p
+	bad.MassTon = 0
+	if _, err := TripFuel(bad, 0.05, v, a, g); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestEmissionGPH(t *testing.T) {
+	if got := EmissionGPH(2, CO2GramsPerGallon); got != 17816 {
+		t.Errorf("CO2 emission = %v", got)
+	}
+	if got := EmissionGPH(1, PM25GramsPerGallon); got != 0.084 {
+		t.Errorf("PM2.5 emission = %v", got)
+	}
+}
+
+func TestRoadFuelAt(t *testing.T) {
+	up, err := road.StraightRoad("up", 500, road.Deg(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := road.StraightRoad("flat", 500, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := TableII()
+	v := 40.0 / 3.6
+	rfUp, err := RoadFuelAt(up, v, TrueGrade, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfFlat, err := RoadFuelAt(flat, v, TrueGrade, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfUp.MeanGPH <= rfFlat.MeanGPH {
+		t.Errorf("uphill road fuel %v <= flat %v", rfUp.MeanGPH, rfFlat.MeanGPH)
+	}
+	if math.Abs(rfUp.MeanGradeDeg-3) > 0.1 {
+		t.Errorf("mean grade = %v", rfUp.MeanGradeDeg)
+	}
+	// FlatGrade func zeroes the gradient.
+	rfForced, err := RoadFuelAt(up, v, FlatGrade, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rfForced.MeanGPH-rfFlat.MeanGPH) > 1e-9 {
+		t.Errorf("FlatGrade fuel %v != flat road %v", rfForced.MeanGPH, rfFlat.MeanGPH)
+	}
+	// Errors.
+	if _, err := RoadFuelAt(nil, v, TrueGrade, p); err == nil {
+		t.Error("nil road should error")
+	}
+	if _, err := RoadFuelAt(up, 0, TrueGrade, p); err == nil {
+		t.Error("zero speed should error")
+	}
+	if _, err := RoadFuelAt(up, v, nil, p); err == nil {
+		t.Error("nil grade func should error")
+	}
+}
+
+func TestNetworkFuelAndUplift(t *testing.T) {
+	net, err := road.GenerateNetwork(9, road.NetworkConfig{TargetStreetKM: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := TableII()
+	v := 40.0 / 3.6
+	fuels, err := NetworkFuel(net, v, TrueGrade, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fuels) != len(net.Edges) {
+		t.Fatalf("fuels %d != edges %d", len(fuels), len(net.Edges))
+	}
+	uplift, err := FuelUplift(net, v, TrueGrade, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hilly terrain must raise network fuel versus the flat assumption;
+	// the paper reports +33.4%. Accept a broad band around it.
+	if uplift < 0.1 || uplift > 0.9 {
+		t.Errorf("fuel uplift = %v, want within (0.1, 0.9)", uplift)
+	}
+	if _, err := NetworkFuel(nil, v, TrueGrade, p); err == nil {
+		t.Error("nil network should error")
+	}
+}
+
+func TestAADTByClass(t *testing.T) {
+	if AADT(road.ClassArterial, nil) <= AADT(road.ClassCollector, nil) {
+		t.Error("arterial AADT should exceed collector")
+	}
+	if AADT(road.ClassCollector, nil) <= AADT(road.ClassLocal, nil) {
+		t.Error("collector AADT should exceed local")
+	}
+	rng := rand.New(rand.NewSource(1))
+	v := AADT(road.ClassArterial, rng)
+	if v < 8000 || v > 24000 {
+		t.Errorf("arterial AADT with jitter = %v", v)
+	}
+}
+
+func TestRoadEmissionAt(t *testing.T) {
+	rf := RoadFuel{RoadID: "x", Class: road.ClassArterial, MeanGPH: 0.5}
+	re, err := RoadEmissionAt(rf, 16000, 40.0/3.6, CO2GramsPerGallon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16000/24 ≈ 667 veh/h; /40 km/h ≈ 16.7 veh/km; ×0.5 gal/h ×8908 g/gal
+	// ≈ 74.2 kg/km/h ≈ 0.074 ton/km/h.
+	if re.TonPerKmHour < 0.05 || re.TonPerKmHour > 0.1 {
+		t.Errorf("CO2 density = %v ton/km/h", re.TonPerKmHour)
+	}
+	if _, err := RoadEmissionAt(rf, -1, 10, CO2GramsPerGallon); err == nil {
+		t.Error("negative AADT should error")
+	}
+	if _, err := RoadEmissionAt(rf, 100, 0, CO2GramsPerGallon); err == nil {
+		t.Error("zero speed should error")
+	}
+}
+
+func TestNetworkEmissionsDeterministic(t *testing.T) {
+	net, err := road.GenerateNetwork(9, road.NetworkConfig{TargetStreetKM: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuels, err := NetworkFuel(net, 11, TrueGrade, TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NetworkEmissions(fuels, 11, CO2GramsPerGallon, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NetworkEmissions(fuels, 11, CO2GramsPerGallon, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("emissions differ at %d with same seed", i)
+		}
+	}
+	if _, err := NetworkEmissions(nil, 11, CO2GramsPerGallon, 1); err == nil {
+		t.Error("empty fuels should error")
+	}
+}
+
+func BenchmarkRateGPH(b *testing.B) {
+	p := TableII()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.RateGPH(11.1, 0.3, 0.02)
+	}
+}
+
+func BenchmarkNetworkFuel(b *testing.B) {
+	net, err := road.GenerateNetwork(9, road.NetworkConfig{TargetStreetKM: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := TableII()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NetworkFuel(net, 11.1, TrueGrade, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEconomyCurveShape(t *testing.T) {
+	r, err := road.StraightRoad("eco", 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := TableII()
+	curve, err := EconomyCurve(r, TrueGrade, p, 10, 120, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 12 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	// Economy worsens at both extremes relative to the optimum.
+	best, err := OptimalCruise(r, TrueGrade, p, 10, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.SpeedKmh <= 10 || best.SpeedKmh >= 120 {
+		t.Errorf("optimal cruise %v km/h at the sweep edge; expected an interior optimum", best.SpeedKmh)
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if best.GallonsPerKm >= first.GallonsPerKm || best.GallonsPerKm >= last.GallonsPerKm {
+		t.Errorf("optimum %v not below the extremes (%v, %v)",
+			best.GallonsPerKm, first.GallonsPerKm, last.GallonsPerKm)
+	}
+}
+
+func TestEconomyCurveErrors(t *testing.T) {
+	r, _ := road.StraightRoad("eco", 500, 0, 1)
+	if _, err := EconomyCurve(r, TrueGrade, TableII(), 0, 100, 10); err == nil {
+		t.Error("zero min should error")
+	}
+	if _, err := EconomyCurve(r, TrueGrade, TableII(), 100, 50, 10); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, err := EconomyCurve(r, TrueGrade, TableII(), 10, 100, 0); err == nil {
+		t.Error("zero step should error")
+	}
+}
+
+func TestOptimalCruiseUphillSlower(t *testing.T) {
+	p := TableII()
+	flat, err := road.StraightRoad("flat", 1000, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steep, err := road.StraightRoad("steep", 1000, road.Deg(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bFlat, err := OptimalCruise(flat, TrueGrade, p, 10, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSteep, err := OptimalCruise(steep, TrueGrade, p, 10, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Climbing costs grow linearly with distance regardless of speed, but
+	// per-km base-load cost shrinks with speed — so the uphill optimum is
+	// at least as fast, and uphill economy is strictly worse.
+	if bSteep.GallonsPerKm <= bFlat.GallonsPerKm {
+		t.Errorf("uphill economy %v not worse than flat %v", bSteep.GallonsPerKm, bFlat.GallonsPerKm)
+	}
+}

@@ -1,0 +1,173 @@
+// Package groundtruth implements §III-D of the paper: building the reference
+// road gradient profile from road geography information (latitude,
+// longitude, altitude). The road is divided into small equal segments; each
+// segment's direction is arctan(Δλ/Δφ) and its grade arcsin(Δz/d). The paper
+// collects the altitude with a 0.01 m altimeter driven over the road; here
+// the altimeter vehicle is simulated over the synthetic road's true profile.
+package groundtruth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"roadgrade/internal/geo"
+	"roadgrade/internal/road"
+)
+
+// GeoSample is one surveyed point: position and altitude.
+type GeoSample struct {
+	Pos  geo.LatLon `json:"pos"`
+	AltM float64    `json:"alt_m"`
+}
+
+// Reference is the reference road gradient profile: per-segment grades and
+// directions over equal-length segments.
+type Reference struct {
+	// SegmentLengthM is the nominal segment length (1 m in the paper).
+	SegmentLengthM float64
+	// GradeRad[i] is the grade of segment i (S_i -> E_i).
+	GradeRad []float64
+	// DirectionRad[i] is the paper's segment direction arctan(Δλ/Δφ).
+	DirectionRad []float64
+}
+
+// GradeAt returns the reference grade at arc length s, clamped to the
+// profile range.
+func (r *Reference) GradeAt(s float64) float64 {
+	if len(r.GradeRad) == 0 {
+		return 0
+	}
+	idx := int(s / r.SegmentLengthM)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(r.GradeRad) {
+		idx = len(r.GradeRad) - 1
+	}
+	return r.GradeRad[idx]
+}
+
+// GradeAvgAt returns the grade averaged over a window centred at s. A
+// single 1 m segment carries ~0.6-0.8 degrees of altimeter-induced noise
+// (arcsin of ±1.4 cm over 1 m), so comparisons should happen at window
+// granularity.
+func (r *Reference) GradeAvgAt(s, window float64) float64 {
+	if len(r.GradeRad) == 0 {
+		return 0
+	}
+	if window < r.SegmentLengthM {
+		window = r.SegmentLengthM
+	}
+	var sum float64
+	var n int
+	for d := -window / 2; d <= window/2; d += r.SegmentLengthM {
+		sum += r.GradeAt(s + d)
+		n++
+	}
+	return sum / float64(n)
+}
+
+// Length returns the profile's covered arc length.
+func (r *Reference) Length() float64 {
+	return float64(len(r.GradeRad)) * r.SegmentLengthM
+}
+
+// BuildReference computes the reference profile from consecutive survey
+// samples: sample i is segment i's start point S and sample i+1 its end
+// point E.
+func BuildReference(samples []GeoSample) (*Reference, error) {
+	if len(samples) < 2 {
+		return nil, errors.New("groundtruth: need at least two samples")
+	}
+	ref := &Reference{
+		GradeRad:     make([]float64, 0, len(samples)-1),
+		DirectionRad: make([]float64, 0, len(samples)-1),
+	}
+	var totalLen float64
+	for i := 0; i+1 < len(samples); i++ {
+		s, e := samples[i], samples[i+1]
+		d := geo.HaversineM(s.Pos, e.Pos)
+		if d <= 0 {
+			return nil, fmt.Errorf("groundtruth: zero-length segment at %d", i)
+		}
+		totalLen += d
+		ratio := (e.AltM - s.AltM) / d
+		if ratio > 1 {
+			ratio = 1
+		} else if ratio < -1 {
+			ratio = -1
+		}
+		ref.GradeRad = append(ref.GradeRad, math.Asin(ratio))
+		ref.DirectionRad = append(ref.DirectionRad, geo.PaperSegmentDirection(s.Pos, e.Pos))
+	}
+	ref.SegmentLengthM = totalLen / float64(len(ref.GradeRad))
+	return ref, nil
+}
+
+// SurveyConfig controls the simulated altimeter survey vehicle.
+type SurveyConfig struct {
+	// SpacingM is the segment length (default 1 m, §IV-A2).
+	SpacingM float64
+	// AltimeterSigmaM is the altimeter accuracy (default 0.01 m).
+	AltimeterSigmaM float64
+	// PositionSigmaDeg is the per-sample lat/lon noise. The survey rig
+	// marks segment boundaries by odometer distance, so consecutive marks
+	// have centimeter-level relative precision; the default is 1e-7
+	// degrees (≈ 1 cm). §III-D's quoted 0.00001-degree figure is the
+	// coordinate representation precision, not per-mark noise.
+	PositionSigmaDeg float64
+}
+
+func (c SurveyConfig) withDefaults() SurveyConfig {
+	if c.SpacingM <= 0 {
+		c.SpacingM = 1
+	}
+	if c.AltimeterSigmaM <= 0 {
+		c.AltimeterSigmaM = 0.01
+	}
+	if c.PositionSigmaDeg <= 0 {
+		c.PositionSigmaDeg = 1e-7
+	}
+	return c
+}
+
+// Survey drives the instrumented vehicle over a road, emitting geo samples
+// every SpacingM meters. proj anchors the road's local frame on the globe.
+func Survey(r *road.Road, proj *geo.Projector, cfg SurveyConfig, rng *rand.Rand) ([]GeoSample, error) {
+	if r == nil {
+		return nil, errors.New("groundtruth: nil road")
+	}
+	if proj == nil {
+		return nil, errors.New("groundtruth: nil projector")
+	}
+	if rng == nil {
+		return nil, errors.New("groundtruth: rng is required")
+	}
+	cfg = cfg.withDefaults()
+	n := int(r.Length()/cfg.SpacingM) + 1
+	out := make([]GeoSample, 0, n)
+	for i := 0; i < n; i++ {
+		s := float64(i) * cfg.SpacingM
+		pos := proj.ToLatLon(r.PositionAt(s))
+		pos.Lat += rng.NormFloat64() * cfg.PositionSigmaDeg
+		pos.Lon += rng.NormFloat64() * cfg.PositionSigmaDeg
+		out = append(out, GeoSample{
+			Pos:  pos,
+			AltM: r.AltitudeAt(s) + rng.NormFloat64()*cfg.AltimeterSigmaM,
+		})
+	}
+	return out, nil
+}
+
+// ReferenceFor is the convenience path used across the evaluation: survey a
+// road at 1 m spacing and build its reference profile.
+func ReferenceFor(r *road.Road, rng *rand.Rand) (*Reference, error) {
+	proj := geo.NewProjector(geo.LatLon{Lat: 38.0293, Lon: -78.4767}) // Charlottesville
+	samples, err := Survey(r, proj, SurveyConfig{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return BuildReference(samples)
+}

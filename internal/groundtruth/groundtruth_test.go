@@ -1,0 +1,145 @@
+package groundtruth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadgrade/internal/geo"
+	"roadgrade/internal/road"
+)
+
+func TestBuildReferenceValidation(t *testing.T) {
+	if _, err := BuildReference(nil); err == nil {
+		t.Error("no samples should error")
+	}
+	if _, err := BuildReference([]GeoSample{{}}); err == nil {
+		t.Error("one sample should error")
+	}
+	same := GeoSample{Pos: geo.LatLon{Lat: 38, Lon: -78}}
+	if _, err := BuildReference([]GeoSample{same, same}); err == nil {
+		t.Error("duplicate positions should error")
+	}
+}
+
+func TestBuildReferenceKnownGrade(t *testing.T) {
+	// Two samples 100 m apart (north), 5 m rise: grade = arcsin(0.05).
+	origin := geo.LatLon{Lat: 38, Lon: -78}
+	proj := geo.NewProjector(origin)
+	end := proj.ToLatLon(geo.ENU{E: 0, N: 100})
+	ref, err := BuildReference([]GeoSample{
+		{Pos: origin, AltM: 100},
+		{Pos: end, AltM: 105},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Asin(0.05)
+	if math.Abs(ref.GradeRad[0]-want) > 1e-4 {
+		t.Errorf("grade = %v, want %v", ref.GradeRad[0], want)
+	}
+	if math.Abs(ref.SegmentLengthM-100) > 0.5 {
+		t.Errorf("segment length = %v", ref.SegmentLengthM)
+	}
+	// Due-north segment direction is arctan(0) = 0 in the paper convention.
+	if ref.DirectionRad[0] != 0 {
+		t.Errorf("direction = %v", ref.DirectionRad[0])
+	}
+}
+
+func TestReferenceGradeAtClamps(t *testing.T) {
+	ref := &Reference{SegmentLengthM: 1, GradeRad: []float64{0.01, 0.02, 0.03}}
+	if ref.GradeAt(-1) != 0.01 || ref.GradeAt(0.5) != 0.01 || ref.GradeAt(2.5) != 0.03 || ref.GradeAt(99) != 0.03 {
+		t.Error("GradeAt clamping wrong")
+	}
+	if ref.Length() != 3 {
+		t.Errorf("Length = %v", ref.Length())
+	}
+	empty := &Reference{SegmentLengthM: 1}
+	if empty.GradeAt(1) != 0 {
+		t.Error("empty reference should return 0")
+	}
+}
+
+func TestSurveyValidation(t *testing.T) {
+	r, _ := road.StraightRoad("x", 100, 0, 1)
+	proj := geo.NewProjector(geo.LatLon{Lat: 38, Lon: -78})
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Survey(nil, proj, SurveyConfig{}, rng); err == nil {
+		t.Error("nil road should error")
+	}
+	if _, err := Survey(r, nil, SurveyConfig{}, rng); err == nil {
+		t.Error("nil projector should error")
+	}
+	if _, err := Survey(r, proj, SurveyConfig{}, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestReferenceMatchesTrueProfile(t *testing.T) {
+	// The §III-D reference built from a 1 m survey must reproduce the
+	// road's true grade profile to within the altimeter noise.
+	r, err := road.RedRoute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ReferenceFor(r, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ref.Length()-r.Length()) > r.Length()*0.01 {
+		t.Errorf("reference length %v vs road %v", ref.Length(), r.Length())
+	}
+	// Compare at 10 m intervals, smoothing the reference over ±5 m: a
+	// single 1 m segment carries ~0.8° of altimeter-induced grade noise
+	// (arcsin(±0.014/1)), so the reference is meaningful only at the
+	// window level.
+	var worst float64
+	for s := 10.0; s < r.Length()-10; s += 10 {
+		var sum float64
+		for d := -5.0; d <= 5; d++ {
+			sum += ref.GradeAt(s + d)
+		}
+		got := sum / 11
+		if e := math.Abs(got - r.GradeAt(s)); e > worst {
+			worst = e
+		}
+	}
+	if worst > road.Deg(1.2) {
+		t.Errorf("worst smoothed reference error %v deg", worst*180/math.Pi)
+	}
+}
+
+func TestSurveyNoiseLevel(t *testing.T) {
+	r, err := road.StraightRoad("flat", 500, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := geo.NewProjector(geo.LatLon{Lat: 38.0293, Lon: -78.4767})
+	samples, err := Survey(r, proj, SurveyConfig{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 501 {
+		t.Fatalf("samples = %d, want 501", len(samples))
+	}
+	// Altitudes on a flat road stay within a few sigma of 180.
+	for i, gs := range samples {
+		if math.Abs(gs.AltM-180) > 0.1 {
+			t.Fatalf("sample %d altitude %v, altimeter noise too large", i, gs.AltM)
+		}
+	}
+}
+
+func BenchmarkReferenceFor(b *testing.B) {
+	r, err := road.RedRoute()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReferenceFor(r, rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

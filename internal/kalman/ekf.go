@@ -1,0 +1,137 @@
+// Package kalman provides the Extended Kalman Filter used by the road
+// gradient estimator (§III-C2) and the altitude-EKF baseline. The filter is
+// generic over a user-supplied nonlinear process/measurement model with
+// analytic Jacobians, and uses the Joseph-form covariance update for
+// numerical robustness over long traces.
+package kalman
+
+import (
+	"errors"
+	"fmt"
+
+	"roadgrade/internal/mat"
+)
+
+// Model describes a discrete-time nonlinear system
+//
+//	x(t+1) = f(x(t)) + w,  w ~ N(0, Q)
+//	z(t)   = h(x(t)) + v,  v ~ N(0, R)
+//
+// with analytic Jacobians F = ∂f/∂x and H = ∂h/∂x.
+type Model struct {
+	StateDim int
+	MeasDim  int
+	// Predict evaluates f.
+	Predict func(x []float64) []float64
+	// PredictJacobian evaluates F at x.
+	PredictJacobian func(x []float64) *mat.Matrix
+	// Measure evaluates h.
+	Measure func(x []float64) []float64
+	// MeasureJacobian evaluates H at x.
+	MeasureJacobian func(x []float64) *mat.Matrix
+}
+
+// Validate reports whether the model is complete.
+func (m Model) Validate() error {
+	switch {
+	case m.StateDim <= 0:
+		return fmt.Errorf("kalman: state dimension %d must be positive", m.StateDim)
+	case m.MeasDim <= 0:
+		return fmt.Errorf("kalman: measurement dimension %d must be positive", m.MeasDim)
+	case m.Predict == nil || m.PredictJacobian == nil:
+		return errors.New("kalman: Predict and PredictJacobian are required")
+	case m.Measure == nil || m.MeasureJacobian == nil:
+		return errors.New("kalman: Measure and MeasureJacobian are required")
+	}
+	return nil
+}
+
+// Filter is an EKF instance. Not safe for concurrent use.
+type Filter struct {
+	model Model
+	x     []float64
+	p     *mat.Matrix
+	q     *mat.Matrix
+	r     *mat.Matrix
+}
+
+// NewFilter builds a filter with initial state x0, initial covariance p0,
+// process noise q and measurement noise r.
+func NewFilter(model Model, x0 []float64, p0, q, r *mat.Matrix) (*Filter, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := model.StateDim, model.MeasDim
+	if len(x0) != n {
+		return nil, fmt.Errorf("kalman: x0 has dim %d, want %d", len(x0), n)
+	}
+	for name, mm := range map[string]*mat.Matrix{"p0": p0, "q": q} {
+		if mm == nil || mm.Rows() != n || mm.Cols() != n {
+			return nil, fmt.Errorf("kalman: %s must be %dx%d", name, n, n)
+		}
+	}
+	if r == nil || r.Rows() != m || r.Cols() != m {
+		return nil, fmt.Errorf("kalman: r must be %dx%d", m, m)
+	}
+	return &Filter{
+		model: model,
+		x:     mat.CloneVec(x0),
+		p:     p0.Clone(),
+		q:     q.Clone(),
+		r:     r.Clone(),
+	}, nil
+}
+
+// Predict advances the state one step through the process model.
+func (f *Filter) Predict() {
+	fj := f.model.PredictJacobian(f.x)
+	f.x = f.model.Predict(f.x)
+	if len(f.x) != f.model.StateDim {
+		panic(fmt.Sprintf("kalman: Predict returned dim %d, want %d", len(f.x), f.model.StateDim))
+	}
+	// P = F P Fᵀ + Q
+	f.p = mat.Symmetrize(mat.Sum(mat.Mul3(fj, f.p, mat.Transpose(fj)), f.q))
+}
+
+// Update folds in measurement z and returns the innovation z − h(x).
+func (f *Filter) Update(z []float64) ([]float64, error) {
+	if len(z) != f.model.MeasDim {
+		return nil, fmt.Errorf("kalman: measurement dim %d, want %d", len(z), f.model.MeasDim)
+	}
+	h := f.model.MeasureJacobian(f.x)
+	pred := f.model.Measure(f.x)
+	innov := mat.SubVec(z, pred)
+
+	// S = H P Hᵀ + R
+	s := mat.Sum(mat.Mul3(h, f.p, mat.Transpose(h)), f.r)
+	sInv, err := mat.Inverse(s)
+	if err != nil {
+		return nil, fmt.Errorf("kalman: innovation covariance singular: %w", err)
+	}
+	// K = P Hᵀ S⁻¹
+	k := mat.Mul3(f.p, mat.Transpose(h), sInv)
+	// x += K·innov
+	f.x = mat.AddVec(f.x, mat.MulVec(k, innov))
+	// Joseph form: P = (I−KH) P (I−KH)ᵀ + K R Kᵀ
+	ikh := mat.Sub(mat.Identity(f.model.StateDim), mat.Mul(k, h))
+	f.p = mat.Symmetrize(mat.Sum(
+		mat.Mul3(ikh, f.p, mat.Transpose(ikh)),
+		mat.Mul3(k, f.r, mat.Transpose(k)),
+	))
+	return innov, nil
+}
+
+// State returns a copy of the current state estimate.
+func (f *Filter) State() []float64 { return mat.CloneVec(f.x) }
+
+// SetState overwrites the state estimate (e.g. re-anchoring after a gap).
+func (f *Filter) SetState(x []float64) error {
+	if len(x) != f.model.StateDim {
+		return fmt.Errorf("kalman: state dim %d, want %d", len(x), f.model.StateDim)
+	}
+	f.x = mat.CloneVec(x)
+	return nil
+}
+
+// Covariance returns a copy of the current estimate covariance.
+func (f *Filter) Covariance() *mat.Matrix { return f.p.Clone() }

@@ -1,0 +1,101 @@
+package kalman
+
+import (
+	"errors"
+	"fmt"
+
+	"roadgrade/internal/mat"
+)
+
+// Smoother wraps a Filter and records the per-step quantities a
+// Rauch-Tung-Striebel (RTS) fixed-interval smoother needs, then produces the
+// smoothed state sequence in a backward pass. It is the exact counterpart of
+// the pipeline's forward-backward combination: RTS is statistically optimal
+// for the model, at the cost of storing the whole trajectory.
+type Smoother struct {
+	f     *Filter
+	steps []rtsStep
+}
+
+type rtsStep struct {
+	// Prediction at this step (before the update), and its Jacobian.
+	xPred []float64
+	pPred *mat.Matrix
+	fJac  *mat.Matrix
+	// Filtered (post-update, or post-predict when no measurement arrived).
+	xFilt []float64
+	pFilt *mat.Matrix
+}
+
+// NewSmoother wraps a freshly constructed filter.
+func NewSmoother(f *Filter) (*Smoother, error) {
+	if f == nil {
+		return nil, errors.New("kalman: nil filter")
+	}
+	return &Smoother{f: f}, nil
+}
+
+// Predict advances the filter one step, recording the prediction.
+func (s *Smoother) Predict() {
+	fj := s.f.model.PredictJacobian(s.f.x)
+	s.f.Predict()
+	s.steps = append(s.steps, rtsStep{
+		xPred: s.f.State(),
+		pPred: s.f.Covariance(),
+		fJac:  fj,
+		xFilt: s.f.State(),
+		pFilt: s.f.Covariance(),
+	})
+}
+
+// Update folds in a measurement for the current step (call after Predict).
+func (s *Smoother) Update(z []float64) ([]float64, error) {
+	if len(s.steps) == 0 {
+		return nil, errors.New("kalman: Update before Predict")
+	}
+	innov, err := s.f.Update(z)
+	if err != nil {
+		return nil, err
+	}
+	last := &s.steps[len(s.steps)-1]
+	last.xFilt = s.f.State()
+	last.pFilt = s.f.Covariance()
+	return innov, nil
+}
+
+// Filter exposes the wrapped filter (e.g. for State between steps).
+func (s *Smoother) Filter() *Filter { return s.f }
+
+// Len returns the number of recorded steps.
+func (s *Smoother) Len() int { return len(s.steps) }
+
+// Smooth runs the RTS backward pass and returns the smoothed states and
+// covariances, one per recorded step:
+//
+//	C_k     = P_k|k F_kᵀ P_{k+1|k}⁻¹
+//	x_k|N   = x_k|k + C_k (x_{k+1|N} − x_{k+1|k})
+//	P_k|N   = P_k|k + C_k (P_{k+1|N} − P_{k+1|k}) C_kᵀ
+func (s *Smoother) Smooth() ([][]float64, []*mat.Matrix, error) {
+	n := len(s.steps)
+	if n == 0 {
+		return nil, nil, errors.New("kalman: nothing recorded to smooth")
+	}
+	xs := make([][]float64, n)
+	ps := make([]*mat.Matrix, n)
+	xs[n-1] = mat.CloneVec(s.steps[n-1].xFilt)
+	ps[n-1] = s.steps[n-1].pFilt.Clone()
+	for k := n - 2; k >= 0; k-- {
+		cur := s.steps[k]
+		next := s.steps[k+1]
+		pPredInv, err := mat.Inverse(next.pPred)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kalman: RTS at step %d: %w", k, err)
+		}
+		c := mat.Mul3(cur.pFilt, mat.Transpose(next.fJac), pPredInv)
+		dx := mat.SubVec(xs[k+1], next.xPred)
+		xs[k] = mat.AddVec(cur.xFilt, mat.MulVec(c, dx))
+		dp := mat.Sub(ps[k+1], next.pPred)
+		ps[k] = mat.Symmetrize(mat.Sum(cur.pFilt, mat.Mul3(c, dp, mat.Transpose(c))))
+	}
+	return xs, ps, nil
+}

@@ -1,0 +1,164 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadgrade/internal/mat"
+)
+
+func TestSmootherValidation(t *testing.T) {
+	if _, err := NewSmoother(nil); err == nil {
+		t.Error("nil filter should error")
+	}
+	f, _ := NewFilter(constVelModel(0.1), []float64{0, 0}, mat.Diag(1, 1), mat.Diag(1, 1), mat.Diag(1))
+	s, err := NewSmoother(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update([]float64{1}); err == nil {
+		t.Error("Update before Predict should error")
+	}
+	if _, _, err := s.Smooth(); err == nil {
+		t.Error("Smooth with no steps should error")
+	}
+	if s.Filter() != f {
+		t.Error("Filter accessor wrong")
+	}
+}
+
+// RTS smoothing must beat the causal filter on a constant-velocity tracking
+// problem with noisy position measurements.
+func TestRTSBeatsForwardFilter(t *testing.T) {
+	const (
+		dt    = 0.1
+		steps = 400
+	)
+	rng := rand.New(rand.NewSource(5))
+
+	// Ground truth: velocity changes midway.
+	truePos := make([]float64, steps)
+	trueVel := make([]float64, steps)
+	v := 2.0
+	for i := 1; i < steps; i++ {
+		if i == steps/2 {
+			v = -1.5
+		}
+		trueVel[i] = v
+		truePos[i] = truePos[i-1] + v*dt
+	}
+
+	f, err := NewFilter(constVelModel(dt),
+		[]float64{0, 0},
+		mat.Diag(10, 10),
+		mat.Diag(1e-4, 5e-3),
+		mat.Diag(1.0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSmoother(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwdErr float64
+	for i := 0; i < steps; i++ {
+		sm.Predict()
+		z := truePos[i] + rng.NormFloat64()
+		if _, err := sm.Update([]float64{z}); err != nil {
+			t.Fatal(err)
+		}
+		x := sm.Filter().State()
+		fwdErr += math.Abs(x[1] - trueVel[i])
+	}
+	if sm.Len() != steps {
+		t.Fatalf("recorded %d steps", sm.Len())
+	}
+	xs, ps, err := sm.Smooth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smErr float64
+	for i := range xs {
+		smErr += math.Abs(xs[i][1] - trueVel[i])
+		if !mat.IsPSD(ps[i], 1e-9) {
+			t.Fatalf("smoothed covariance not PSD at %d", i)
+		}
+	}
+	if smErr >= fwdErr*0.8 {
+		t.Errorf("RTS velocity error %v not clearly below forward %v", smErr, fwdErr)
+	}
+	// Endpoint agreement: the smoothed last state equals the filtered one.
+	last := sm.Filter().State()
+	for j := range last {
+		if math.Abs(xs[steps-1][j]-last[j]) > 1e-12 {
+			t.Errorf("smoothed endpoint differs from filtered state")
+		}
+	}
+}
+
+// The smoother must also handle prediction-only stretches (missing
+// measurements), interpolating through the gap.
+func TestRTSWithMeasurementGaps(t *testing.T) {
+	const dt = 0.1
+	rng := rand.New(rand.NewSource(7))
+	f, err := NewFilter(constVelModel(dt),
+		[]float64{0, 0}, mat.Diag(10, 10), mat.Diag(1e-4, 1e-3), mat.Diag(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSmoother(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const vTrue = 3.0
+	for i := 0; i < 300; i++ {
+		sm.Predict()
+		if i%10 == 0 { // sparse measurements
+			z := vTrue*dt*float64(i) + rng.NormFloat64()*0.5
+			if _, err := sm.Update([]float64{z}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	xs, _, err := sm.Smooth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Velocity estimate converges despite the gaps.
+	var sum float64
+	var n int
+	for i := 100; i < len(xs); i++ {
+		sum += xs[i][1]
+		n++
+	}
+	if got := sum / float64(n); math.Abs(got-vTrue) > 0.15 {
+		t.Errorf("smoothed velocity %v, want ~%v", got, vTrue)
+	}
+}
+
+func BenchmarkRTSSmooth(b *testing.B) {
+	const dt = 0.05
+	rng := rand.New(rand.NewSource(9))
+	build := func() *Smoother {
+		f, _ := NewFilter(constVelModel(dt),
+			[]float64{0, 0}, mat.Diag(1, 1), mat.Diag(1e-4, 1e-3), mat.Diag(0.25))
+		sm, _ := NewSmoother(f)
+		for i := 0; i < 2000; i++ {
+			sm.Predict()
+			if _, err := sm.Update([]float64{rng.NormFloat64()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return sm
+	}
+	sm := build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sm.Smooth(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

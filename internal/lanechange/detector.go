@@ -1,0 +1,196 @@
+package lanechange
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Direction labels a detected lane change.
+type Direction int
+
+// Lane-change directions. A left change shows a positive bump first
+// (counter-clockwise steering), a right change a negative bump first.
+const (
+	Left Direction = iota + 1
+	Right
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Detection is one detected lane change.
+type Detection struct {
+	// StartIdx/EndIdx span both bumps in the sample stream.
+	StartIdx int
+	EndIdx   int
+	StartT   float64
+	EndT     float64
+	Dir      Direction
+	// DisplacementM is the Eq. (1) horizontal displacement over the span.
+	DisplacementM float64
+}
+
+// Config tunes the detector.
+type Config struct {
+	// Thresholds are the calibrated (δ, T); defaults to PaperThresholds.
+	Thresholds Thresholds
+	// WLaneM is the nominal lane-change displacement (default 3.65 m);
+	// detections with |W| > 3·WLaneM are rejected as S-curves per §III-B2.
+	WLaneM float64
+	// MaxGapS is how long a lone bump stays pending before it expires
+	// (default 6 s). The paper leaves this implicit; without it, bumps
+	// minutes apart would be paired.
+	MaxGapS float64
+	// SmoothWindowS is the local-regression window (default 1.2 s);
+	// set negative to skip smoothing (profile already smoothed).
+	SmoothWindowS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Thresholds.DeltaRad <= 0 || c.Thresholds.TMinS <= 0 {
+		c.Thresholds = PaperThresholds
+	}
+	if c.WLaneM <= 0 {
+		c.WLaneM = 3.65
+	}
+	if c.MaxGapS <= 0 {
+		c.MaxGapS = 6
+	}
+	if c.SmoothWindowS == 0 {
+		c.SmoothWindowS = 1.2
+	}
+	return c
+}
+
+// Detector implements Algorithm 1 over a sampled steering-rate profile.
+type Detector struct {
+	cfg Config
+}
+
+// NewDetector returns a detector with the given config (zero value = paper
+// defaults).
+func NewDetector(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Detect runs lane-change detection over a trip's steering-rate and speed
+// series sampled at interval dt, returning the detections in time order.
+func (d *Detector) Detect(dt float64, steer, speed []float64) ([]Detection, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("lanechange: invalid dt %v", dt)
+	}
+	if len(steer) != len(speed) {
+		return nil, fmt.Errorf("lanechange: steer/speed length mismatch %d vs %d", len(steer), len(speed))
+	}
+	if len(steer) == 0 {
+		return nil, errors.New("lanechange: empty profile")
+	}
+	profile := steer
+	if d.cfg.SmoothWindowS > 0 {
+		sm, err := SmoothProfile(dt, steer, d.cfg.SmoothWindowS)
+		if err != nil {
+			return nil, err
+		}
+		profile = sm
+	}
+	th := d.cfg.Thresholds
+	bumps := FindBumps(dt, profile, th.DeltaRad, th.TMinS)
+
+	// Algorithm 1: pair consecutive opposite-sign bumps, verify the
+	// horizontal displacement, classify by the first bump's sign.
+	var out []Detection
+	var pending *Bump
+	for i := range bumps {
+		b := bumps[i]
+		if pending == nil {
+			pending = &bumps[i] // STATE: no-bump -> one-bump
+			continue
+		}
+		if b.StartT(dt)-pending.EndT(dt) > d.cfg.MaxGapS {
+			pending = &bumps[i] // stale pending bump expires
+			continue
+		}
+		if b.Sign == pending.Sign {
+			// Same sign: per Algorithm 1, continue; keep the newer bump as
+			// pending so a following opposite bump pairs with it.
+			pending = &bumps[i]
+			continue
+		}
+		w := displacement(dt, profile, speed, pending.StartIdx, b.EndIdx)
+		if math.Abs(w) <= 3*d.cfg.WLaneM {
+			dir := Right
+			if pending.Sign > 0 {
+				dir = Left
+			}
+			out = append(out, Detection{
+				StartIdx:      pending.StartIdx,
+				EndIdx:        b.EndIdx,
+				StartT:        pending.StartT(dt),
+				EndT:          b.EndT(dt),
+				Dir:           dir,
+				DisplacementM: w,
+			})
+			pending = nil // STATE back to no-bump
+		} else {
+			// S-curve: discard the pair entirely; the opposite bump of an
+			// S-curve must not seed a new pairing.
+			pending = nil
+		}
+	}
+	return out, nil
+}
+
+// displacement evaluates Eq. (1) over samples [start, end):
+//
+//	W = Σ_i v̂_i·Ω·sin(Σ_{j<=i} w_j·Ω)
+func displacement(dt float64, steer, speed []float64, start, end int) float64 {
+	var w, alpha float64
+	for i := start; i < end && i < len(steer); i++ {
+		alpha += steer[i] * dt
+		w += speed[i] * dt * math.Sin(alpha)
+	}
+	return w
+}
+
+// Displacement exposes the Eq. (1) computation for experiments (Figure 5
+// compares lane-change vs S-curve displacements).
+func Displacement(dt float64, steer, speed []float64) float64 {
+	n := len(steer)
+	if len(speed) < n {
+		n = len(speed)
+	}
+	return displacement(dt, steer, speed, 0, n)
+}
+
+// CorrectVelocities applies the Eq. (2) longitudinal-velocity correction:
+// inside every detection span the measured speed is multiplied by
+// cos(accumulated steering angle); outside, it passes through. The input is
+// not modified.
+func CorrectVelocities(dt float64, speed, steer []float64, detections []Detection) ([]float64, error) {
+	if len(speed) != len(steer) {
+		return nil, fmt.Errorf("lanechange: speed/steer length mismatch %d vs %d", len(speed), len(steer))
+	}
+	out := make([]float64, len(speed))
+	copy(out, speed)
+	for _, det := range detections {
+		if det.StartIdx < 0 || det.EndIdx > len(speed) || det.StartIdx >= det.EndIdx {
+			return nil, fmt.Errorf("lanechange: detection span [%d,%d) out of range", det.StartIdx, det.EndIdx)
+		}
+		var alpha float64
+		for i := det.StartIdx; i < det.EndIdx; i++ {
+			alpha += steer[i] * dt
+			out[i] = speed[i] * math.Cos(alpha)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,388 @@
+package lanechange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadgrade/internal/vehicle"
+)
+
+// synthManeuver builds a clean two-bump steering profile: a positive sine
+// lobe of peak w1 over t1 seconds, then a negative lobe of peak w2 over t2.
+func synthManeuver(dt, lead, w1, t1, w2, t2 float64) []float64 {
+	total := 2*lead + t1 + t2
+	n := int(total / dt)
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i)*dt - lead
+		switch {
+		case t >= 0 && t < t1:
+			out[i] = w1 * math.Sin(math.Pi*t/t1)
+		case t >= t1 && t < t1+t2:
+			out[i] = -w2 * math.Sin(math.Pi*(t-t1)/t2)
+		}
+	}
+	return out
+}
+
+func constSpeed(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestFindBumpsBasic(t *testing.T) {
+	dt := 0.05
+	steer := synthManeuver(dt, 2, 0.15, 2, 0.12, 2.5)
+	bumps := FindBumps(dt, steer, 0, 0)
+	if len(bumps) != 2 {
+		t.Fatalf("found %d bumps, want 2", len(bumps))
+	}
+	if bumps[0].Sign != 1 || bumps[1].Sign != -1 {
+		t.Errorf("signs = %d, %d", bumps[0].Sign, bumps[1].Sign)
+	}
+	if math.Abs(bumps[0].PeakRad-0.15) > 0.01 {
+		t.Errorf("peak = %v, want ~0.15", bumps[0].PeakRad)
+	}
+	// Time above 0.7·peak of a sine lobe is ~50.6% of its width.
+	if math.Abs(bumps[0].DurAt07S-0.506*2) > 0.15 {
+		t.Errorf("dur = %v, want ~%v", bumps[0].DurAt07S, 0.506*2)
+	}
+	// Threshold filtering removes the weaker bump.
+	strong := FindBumps(dt, steer, 0.13, 0)
+	if len(strong) != 1 || strong[0].Sign != 1 {
+		t.Errorf("minPeak filter: %+v", strong)
+	}
+	long := FindBumps(dt, steer, 0, 1.2)
+	if len(long) != 1 || long[0].Sign != -1 {
+		t.Errorf("minDur filter: %+v", long)
+	}
+}
+
+func TestFindBumpsIgnoresNoiseFloor(t *testing.T) {
+	dt := 0.05
+	steer := make([]float64, 200)
+	for i := range steer {
+		steer[i] = 0.01 * math.Sin(float64(i)/5) // below the 0.02 floor
+	}
+	if got := FindBumps(dt, steer, 0, 0); len(got) != 0 {
+		t.Errorf("found %d bumps in sub-floor noise", len(got))
+	}
+}
+
+func TestBumpTimes(t *testing.T) {
+	b := Bump{StartIdx: 10, EndIdx: 30}
+	if b.StartT(0.1) != 1 || b.EndT(0.1) != 3 {
+		t.Errorf("times = %v, %v", b.StartT(0.1), b.EndT(0.1))
+	}
+}
+
+func TestExtractManeuverFeatures(t *testing.T) {
+	dt := 0.05
+	steer := synthManeuver(dt, 2, 0.16, 2, 0.12, 2.6)
+	f, err := ExtractManeuverFeatures(dt, steer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.DeltaPos-0.16) > 0.01 || math.Abs(f.DeltaNeg-0.12) > 0.01 {
+		t.Errorf("features = %+v", f)
+	}
+	if f.TNeg <= f.TPos {
+		t.Errorf("longer lobe should have longer duration: %+v", f)
+	}
+	// Error cases.
+	if _, err := ExtractManeuverFeatures(0, steer); err == nil {
+		t.Error("zero dt should error")
+	}
+	onlyPos := synthManeuver(dt, 1, 0.15, 2, 0, 1)
+	if _, err := ExtractManeuverFeatures(dt, onlyPos); err == nil {
+		t.Error("single-lobe profile should error")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	features := []ManeuverFeatures{
+		{DeltaPos: 0.1215, DeltaNeg: 0.1445, TPos: 1.625, TNeg: 1.766},
+		{DeltaPos: 0.1723, DeltaNeg: 0.1167, TPos: 1.383, TNeg: 2.072},
+	}
+	th, err := Calibrate(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table I: minimums are 0.1167 rad/s and 1.383 s.
+	if math.Abs(th.DeltaRad-0.1167) > 1e-9 || math.Abs(th.TMinS-1.383) > 1e-9 {
+		t.Errorf("Calibrate = %+v, want Table I minima", th)
+	}
+	if _, err := Calibrate(nil); err == nil {
+		t.Error("empty calibration should error")
+	}
+	if _, err := Calibrate([]ManeuverFeatures{{}}); err == nil {
+		t.Error("zero features should error")
+	}
+}
+
+func TestSmoothProfileReducesNoise(t *testing.T) {
+	dt := 0.05
+	clean := synthManeuver(dt, 2, 0.15, 2, 0.15, 2)
+	rng := rand.New(rand.NewSource(4))
+	noisy := make([]float64, len(clean))
+	for i := range noisy {
+		noisy[i] = clean[i] + rng.NormFloat64()*0.02
+	}
+	sm, err := SmoothProfile(dt, noisy, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rawErr, smErr float64
+	for i := range clean {
+		rawErr += math.Abs(noisy[i] - clean[i])
+		smErr += math.Abs(sm[i] - clean[i])
+	}
+	if smErr >= rawErr*0.6 {
+		t.Errorf("smoothing insufficient: %v vs %v", smErr, rawErr)
+	}
+	if _, err := SmoothProfile(0, noisy, 1); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := SmoothProfile(dt, nil, 1); err == nil {
+		t.Error("empty profile should error")
+	}
+	// Tiny profiles clamp the span instead of failing.
+	if _, err := SmoothProfile(dt, []float64{0.1, 0.2, 0.1, 0, 0.1}, 0.01); err != nil {
+		t.Errorf("tiny profile: %v", err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Left.String() != "left" || Right.String() != "right" {
+		t.Error("direction names wrong")
+	}
+	if Direction(9).String() == "" {
+		t.Error("unknown direction should render")
+	}
+}
+
+// calibrated builds thresholds matched to our simulated maneuver shapes.
+func calibrated(t *testing.T) Thresholds {
+	t.Helper()
+	dt := 0.05
+	var features []ManeuverFeatures
+	peaks := []float64{0.12, 0.14, 0.17}
+	for vi, v := range []float64{15.0 / 3.6, 40.0 / 3.6, 65.0 / 3.6} {
+		d := vehicle.DefaultDriver(v)
+		d.SteerPeakRad = peaks[vi]
+		for _, dir := range []int{1, -1} {
+			states, err := vehicle.SimulateSingleLaneChange(d, v, dir, dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steer := make([]float64, len(states))
+			for i, st := range states {
+				steer[i] = st.SteerRate
+			}
+			f, err := ExtractManeuverFeatures(dt, steer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			features = append(features, f)
+		}
+	}
+	th, err := Calibrate(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+func TestDetectLaneChanges(t *testing.T) {
+	dt := 0.05
+	th := calibrated(t)
+	det := NewDetector(Config{Thresholds: th})
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct {
+		name string
+		dir  int
+		want Direction
+	}{
+		{"left", +1, Left},
+		{"right", -1, Right},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			v := 40.0 / 3.6
+			states, err := vehicle.SimulateSingleLaneChange(vehicle.DefaultDriver(v), v, tc.dir, dt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steer := make([]float64, len(states))
+			speed := make([]float64, len(states))
+			for i, st := range states {
+				steer[i] = st.SteerRate + rng.NormFloat64()*0.006
+				speed[i] = st.Speed
+			}
+			got, err := det.Detect(dt, steer, speed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 1 {
+				t.Fatalf("detections = %d, want 1: %+v", len(got), got)
+			}
+			if got[0].Dir != tc.want {
+				t.Errorf("dir = %v, want %v", got[0].Dir, tc.want)
+			}
+			if math.Abs(math.Abs(got[0].DisplacementM)-vehicle.WLaneM) > 1.2 {
+				t.Errorf("displacement = %v, want ~±%v", got[0].DisplacementM, vehicle.WLaneM)
+			}
+		})
+	}
+}
+
+func TestDetectRejectsSCurve(t *testing.T) {
+	// An S-curve residual: same bump shape but sustained, producing a large
+	// heading excursion and displacement > 3·W_lane.
+	dt := 0.05
+	steer := synthManeuver(dt, 2, 0.15, 4, 0.15, 4)
+	speed := constSpeed(len(steer), 12)
+	w := Displacement(dt, steer, speed)
+	if math.Abs(w) <= 3*3.65 {
+		t.Fatalf("test fixture displacement %v should exceed %v", w, 3*3.65)
+	}
+	det := NewDetector(Config{Thresholds: Thresholds{DeltaRad: 0.1, TMinS: 0.5}})
+	got, err := det.Detect(dt, steer, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("S-curve detected as lane change: %+v", got)
+	}
+}
+
+func TestDetectAcceptsTrueDisplacement(t *testing.T) {
+	// The same shape at lane-change scale is accepted.
+	dt := 0.05
+	steer := synthManeuver(dt, 2, 0.15, 2, 0.15, 2)
+	speed := constSpeed(len(steer), 10)
+	det := NewDetector(Config{Thresholds: Thresholds{DeltaRad: 0.1, TMinS: 0.5}})
+	got, err := det.Detect(dt, steer, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Dir != Left {
+		t.Fatalf("detections = %+v, want one left change", got)
+	}
+}
+
+func TestDetectBumpGapExpires(t *testing.T) {
+	dt := 0.05
+	// Positive bump, 10 s of silence, negative bump: must not pair.
+	a := synthManeuver(dt, 1, 0.15, 2, 0, 1)
+	gap := make([]float64, int(10/dt))
+	b := synthManeuver(dt, 1, 0, 1, 0.15, 2)
+	steer := append(append(a, gap...), b...)
+	speed := constSpeed(len(steer), 10)
+	det := NewDetector(Config{Thresholds: Thresholds{DeltaRad: 0.1, TMinS: 0.5}, MaxGapS: 4})
+	got, err := det.Detect(dt, steer, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("distant bumps paired: %+v", got)
+	}
+}
+
+func TestDetectSameSignKeepsLatest(t *testing.T) {
+	dt := 0.05
+	// Two positive bumps then a negative: the pair should be (second
+	// positive, negative), still a left change.
+	p1 := synthManeuver(dt, 1, 0.15, 2, 0, 1)
+	p2 := synthManeuver(dt, 1, 0.15, 2, 0.15, 2)
+	steer := append(p1, p2...)
+	speed := constSpeed(len(steer), 10)
+	det := NewDetector(Config{Thresholds: Thresholds{DeltaRad: 0.1, TMinS: 0.5}})
+	got, err := det.Detect(dt, steer, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Dir != Left {
+		t.Fatalf("detections = %+v", got)
+	}
+	// The detection span should start at the second positive bump.
+	if got[0].StartT < float64(len(p1))*dt*0.8 {
+		t.Errorf("span starts at %v, should start near second bump", got[0].StartT)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	det := NewDetector(Config{})
+	if _, err := det.Detect(0, []float64{1}, []float64{1}); err == nil {
+		t.Error("zero dt should error")
+	}
+	if _, err := det.Detect(0.05, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := det.Detect(0.05, nil, nil); err == nil {
+		t.Error("empty profile should error")
+	}
+}
+
+func TestCorrectVelocities(t *testing.T) {
+	dt := 0.05
+	steer := synthManeuver(dt, 0, 0.2, 2, 0.2, 2)
+	speed := constSpeed(len(steer), 10)
+	dets := []Detection{{StartIdx: 0, EndIdx: len(steer)}}
+	got, err := CorrectVelocities(dt, speed, steer, dets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-maneuver the heading deviation is at its maximum, so the
+	// corrected velocity dips below the measured speed.
+	mid := len(steer) / 2
+	alphaMax := 0.2 * 2 / math.Pi * 2 // ∫ δ sin = 2δT/π with T=2
+	want := 10 * math.Cos(alphaMax)
+	if math.Abs(got[mid]-want) > 0.05 {
+		t.Errorf("corrected mid velocity = %v, want ~%v", got[mid], want)
+	}
+	// Outside any detection, untouched.
+	none, err := CorrectVelocities(dt, speed, steer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range none {
+		if none[i] != speed[i] {
+			t.Fatal("velocity modified outside detections")
+		}
+	}
+	// Input must not be mutated.
+	if speed[mid] != 10 {
+		t.Error("CorrectVelocities mutated input")
+	}
+	// Errors.
+	if _, err := CorrectVelocities(dt, speed[:5], steer, nil); err == nil {
+		t.Error("length mismatch should error")
+	}
+	bad := []Detection{{StartIdx: -1, EndIdx: 2}}
+	if _, err := CorrectVelocities(dt, speed, steer, bad); err == nil {
+		t.Error("bad span should error")
+	}
+}
+
+func TestPaperThresholdValues(t *testing.T) {
+	if PaperThresholds.DeltaRad != 0.1167 || PaperThresholds.TMinS != 1.383 {
+		t.Errorf("PaperThresholds = %+v", PaperThresholds)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	dt := 0.05
+	steer := synthManeuver(dt, 30, 0.15, 2, 0.15, 2)
+	speed := constSpeed(len(steer), 10)
+	det := NewDetector(Config{Thresholds: Thresholds{DeltaRad: 0.1, TMinS: 0.5}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Detect(dt, steer, speed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Package mat provides small dense matrix and vector algebra used throughout
+// the road-gradient estimation pipeline: Kalman filter covariance updates,
+// local-regression normal equations and track-fusion convex combinations.
+//
+// The Go standard library has no linear algebra, so this package implements
+// the needed subset from scratch. Matrices are row-major, value-semantics-free
+// (methods mutate the receiver only where documented) and sized for the tiny
+// systems this project solves (state dimension 2-4, regression degree <= 3).
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a matrix
+// that is singular to working precision.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// ErrNotPSD is returned by Cholesky when the matrix is not positive definite.
+var ErrNotPSD = errors.New("mat: matrix is not positive definite")
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a rows x cols zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share one length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows requires at least one row and column")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("mat: ragged row %d: got %d cols, want %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d ...float64) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add increments the element at (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Mul returns a * b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Mul3 returns a * b * c, a common Kalman-update shape.
+func Mul3(a, b, c *Matrix) *Matrix { return Mul(Mul(a, b), c) }
+
+// Sum returns a + b.
+func Sum(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: Sum dimension mismatch %dx%d + %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Matrix) *Matrix {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: Sub dimension mismatch %dx%d - %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := New(a.rows, a.cols)
+	for i := range out.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(s float64, a *Matrix) *Matrix {
+	out := a.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// Transpose returns the transpose of a.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.cols, a.rows)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.data[j*out.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+	return out
+}
+
+// Symmetrize returns (a + aᵀ)/2, used to keep covariance matrices symmetric
+// under floating-point drift.
+func Symmetrize(a *Matrix) *Matrix {
+	if a.rows != a.cols {
+		panic("mat: Symmetrize requires a square matrix")
+	}
+	out := New(a.rows, a.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.data[i*a.cols+j] = 0.5 * (a.data[i*a.cols+j] + a.data[j*a.cols+i])
+		}
+	}
+	return out
+}
+
+// lu holds an LU factorization with partial pivoting: PA = LU.
+type lu struct {
+	f    *Matrix // packed L (unit lower, implicit 1s) and U
+	perm []int   // row permutation
+	sign int     // permutation sign, for Det
+}
+
+func factorLU(a *Matrix) (*lu, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: LU requires square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	f := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at/below the diagonal.
+		p, max := k, math.Abs(f.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.data[i*n+k]); v > max {
+				p, max = i, v
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.data[k*n+j], f.data[p*n+j] = f.data[p*n+j], f.data[k*n+j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+			sign = -sign
+		}
+		piv := f.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.data[i*n+k] / piv
+			f.data[i*n+k] = l
+			for j := k + 1; j < n; j++ {
+				f.data[i*n+j] -= l * f.data[k*n+j]
+			}
+		}
+	}
+	return &lu{f: f, perm: perm, sign: sign}, nil
+}
+
+// solveVec solves Ax = b given the factorization.
+func (d *lu) solveVec(b []float64) []float64 {
+	n := d.f.rows
+	x := make([]float64, n)
+	// Apply permutation.
+	for i := 0; i < n; i++ {
+		x[i] = b[d.perm[i]]
+	}
+	// Forward substitution (unit lower).
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= d.f.data[i*n+j] * x[j]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for j := i + 1; j < n; j++ {
+			x[i] -= d.f.data[i*n+j] * x[j]
+		}
+		x[i] /= d.f.data[i*n+i]
+	}
+	return x
+}
+
+// Solve solves A X = B for X. A must be square and nonsingular.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows {
+		return nil, fmt.Errorf("mat: Solve dimension mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	f, err := factorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	out := New(a.rows, b.cols)
+	col := make([]float64, a.rows)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < a.rows; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x := f.solveVec(col)
+		for i := 0; i < a.rows; i++ {
+			out.data[i*out.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// SolveVec solves A x = b for a vector b.
+func SolveVec(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("mat: SolveVec dimension mismatch %dx%d vs %d", a.rows, a.cols, len(b))
+	}
+	f, err := factorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.solveVec(b), nil
+}
+
+// Inverse returns A⁻¹.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return Solve(a, Identity(a.rows))
+}
+
+// Det returns the determinant of a square matrix. A singular matrix yields 0.
+func Det(a *Matrix) float64 {
+	f, err := factorLU(a)
+	if err != nil {
+		if errors.Is(err, ErrSingular) {
+			return 0
+		}
+		panic(err)
+	}
+	n := a.rows
+	det := float64(f.sign)
+	for i := 0; i < n; i++ {
+		det *= f.f.data[i*n+i]
+	}
+	return det
+}
+
+// Cholesky returns the lower-triangular L with A = L Lᵀ, or ErrNotPSD.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: Cholesky requires square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.data[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l.data[i*n+k] * l.data[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPSD
+				}
+				l.data[i*n+i] = math.Sqrt(sum)
+			} else {
+				l.data[i*n+j] = sum / l.data[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// IsPSD reports whether a symmetric matrix is positive semi-definite, within
+// tolerance tol added to the diagonal.
+func IsPSD(a *Matrix, tol float64) bool {
+	shifted := a.Clone()
+	for i := 0; i < shifted.rows; i++ {
+		shifted.data[i*shifted.cols+i] += tol
+	}
+	_, err := Cholesky(Symmetrize(shifted))
+	return err == nil
+}
+
+// MulVec returns A v as a new slice.
+func MulVec(a *Matrix, v []float64) []float64 {
+	if a.cols != len(v) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.rows, a.cols, len(v)))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// OuterProduct returns u vᵀ.
+func OuterProduct(u, v []float64) *Matrix {
+	out := New(len(u), len(v))
+	for i, uv := range u {
+		for j, vv := range v {
+			out.data[i*out.cols+j] = uv * vv
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func Trace(a *Matrix) float64 {
+	if a.rows != a.cols {
+		panic("mat: Trace requires a square matrix")
+	}
+	var t float64
+	for i := 0; i < a.rows; i++ {
+		t += a.data[i*a.cols+i]
+	}
+	return t
+}
+
+// MaxAbsDiff returns max |a_ij - b_ij|; a convenience for tests and
+// convergence checks.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic("mat: MaxAbsDiff dimension mismatch")
+	}
+	var max float64
+	for i := range a.data {
+		if d := math.Abs(a.data[i] - b.data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.6g", m.data[i*m.cols+j])
+		}
+		b.WriteString("]")
+		if i != m.rows-1 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,371 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 4.5)
+	if got := m.At(1, 2); got != 4.5 {
+		t.Errorf("At(1,2) = %v, want 4.5", got)
+	}
+	m.Add(1, 2, 0.5)
+	if got := m.At(1, 2); got != 5.0 {
+		t.Errorf("after Add, At(1,2) = %v, want 5.0", got)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows layout wrong: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromRows with ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag(1, 1, 1)
+	if MaxAbsDiff(id, d) != 0 {
+		t.Errorf("Identity(3) != Diag(1,1,1)")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 4)
+	if MaxAbsDiff(Mul(a, Identity(4)), a) > 1e-12 {
+		t.Error("A*I != A")
+	}
+	if MaxAbsDiff(Mul(Identity(4), a), a) > 1e-12 {
+		t.Error("I*A != A")
+	}
+}
+
+func TestSumSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if got, want := Sum(a, b), FromRows([][]float64{{5, 5}, {5, 5}}); MaxAbsDiff(got, want) != 0 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got, want := Sub(a, b), FromRows([][]float64{{-3, -1}, {1, 3}}); MaxAbsDiff(got, want) != 0 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got, want := Scale(2, a), FromRows([][]float64{{2, 4}, {6, 8}}); MaxAbsDiff(got, want) != 0 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := Transpose(a)
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", at.Rows(), at.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := FromRows([][]float64{{3}, {5}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// 2x + y = 3; x + 3y = 5 => x = 4/5, y = 7/5.
+	if math.Abs(x.At(0, 0)-0.8) > 1e-12 || math.Abs(x.At(1, 0)-1.4) > 1e-12 {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Identity(2)); !errors.Is(err, ErrSingular) {
+		t.Errorf("Solve singular err = %v, want ErrSingular", err)
+	}
+	if got := Det(a); got != 0 {
+		t.Errorf("Det(singular) = %v, want 0", got)
+	}
+}
+
+func TestDet(t *testing.T) {
+	tests := []struct {
+		name string
+		m    *Matrix
+		want float64
+	}{
+		{"identity", Identity(3), 1},
+		{"2x2", FromRows([][]float64{{1, 2}, {3, 4}}), -2},
+		{"3x3", FromRows([][]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}), 24},
+		{"permuted", FromRows([][]float64{{0, 1}, {1, 0}}), -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Det(tt.m); math.Abs(got-tt.want) > 1e-10 {
+				t.Errorf("Det = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 6; n++ {
+		a := diagonallyDominant(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("n=%d Inverse: %v", n, err)
+		}
+		if d := MaxAbsDiff(Mul(a, inv), Identity(n)); d > 1e-9 {
+			t.Errorf("n=%d: |A*A^-1 - I| = %g", n, d)
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	if d := MaxAbsDiff(Mul(l, Transpose(l)), a); d > 1e-12 {
+		t.Errorf("LL^T differs from A by %g", d)
+	}
+}
+
+func TestCholeskyNotPSD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPSD) {
+		t.Errorf("Cholesky err = %v, want ErrNotPSD", err)
+	}
+}
+
+func TestIsPSD(t *testing.T) {
+	if !IsPSD(FromRows([][]float64{{2, 1}, {1, 2}}), 1e-12) {
+		t.Error("PSD matrix reported as not PSD")
+	}
+	if IsPSD(FromRows([][]float64{{1, 2}, {2, 1}}), 1e-12) {
+		t.Error("indefinite matrix reported as PSD")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := MulVec(a, []float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	got := OuterProduct([]float64{1, 2}, []float64{3, 4, 5})
+	want := FromRows([][]float64{{3, 4, 5}, {6, 8, 10}})
+	if MaxAbsDiff(got, want) != 0 {
+		t.Errorf("OuterProduct = %v", got)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	if got := Trace(FromRows([][]float64{{1, 9}, {9, 2}})); got != 3 {
+		t.Errorf("Trace = %v, want 3", got)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {4, 3}})
+	s := Symmetrize(a)
+	if s.At(0, 1) != 3 || s.At(1, 0) != 3 {
+		t.Errorf("Symmetrize = %v", s)
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(1)
+	r[0] = 99 // must not alias
+	if a.At(1, 0) != 3 {
+		t.Error("Row returned aliasing slice")
+	}
+	c := a.Col(0)
+	if c[0] != 1 || c[1] != 3 {
+		t.Errorf("Col = %v", c)
+	}
+	cl := a.Clone()
+	cl.Set(0, 0, -1)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone aliases original")
+	}
+}
+
+// Property: Solve(A, b) recovers x with Ax = b for diagonally dominant A.
+func TestSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := diagonallyDominant(r, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := MulVec(a, x)
+		got, err := SolveVec(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: (A B)^T = B^T A^T.
+func TestTransposeMulProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m, p := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(4)
+		a := randomMatrix(r, n, m)
+		b := randomMatrix(r, m, p)
+		lhs := Transpose(Mul(a, b))
+		rhs := Mul(Transpose(b), Transpose(a))
+		return MaxAbsDiff(lhs, rhs) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(AB) = det(A) det(B).
+func TestDetProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		a := randomMatrix(r, n, n)
+		b := randomMatrix(r, n, n)
+		lhs := Det(Mul(a, b))
+		rhs := Det(a) * Det(b)
+		scale := math.Max(1, math.Abs(lhs))
+		return math.Abs(lhs-rhs)/scale < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	u := []float64{1, 2, 3}
+	v := []float64{4, 5, 6}
+	if got := Dot(u, v); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if got := AxPlusY(2, u, v); got[0] != 6 || got[2] != 12 {
+		t.Errorf("AxPlusY = %v", got)
+	}
+	if got := SubVec(v, u); got[0] != 3 || got[2] != 3 {
+		t.Errorf("SubVec = %v", got)
+	}
+	if got := AddVec(v, u); got[0] != 5 || got[2] != 9 {
+		t.Errorf("AddVec = %v", got)
+	}
+	if got := ScaleVec(3, u); got[1] != 6 {
+		t.Errorf("ScaleVec = %v", got)
+	}
+	c := CloneVec(u)
+	c[0] = 9
+	if u[0] != 1 {
+		t.Error("CloneVec aliases input")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}, {3, 4}}).String()
+	if s == "" {
+		t.Error("String returned empty")
+	}
+}
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.NormFloat64())
+		}
+	}
+	return m
+}
+
+// diagonallyDominant returns a random well-conditioned square matrix.
+func diagonallyDominant(r *rand.Rand, n int) *Matrix {
+	m := randomMatrix(r, n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			rowSum += math.Abs(m.At(i, j))
+		}
+		m.Set(i, i, rowSum+1)
+	}
+	return m
+}
+
+func BenchmarkMul4x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomMatrix(rng, 4, 4)
+	y := randomMatrix(rng, 4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkInverse4x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := diagonallyDominant(rng, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inverse(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package road
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/geo"
+)
+
+// Concat joins geometrically consecutive roads (e.g. the edges of a planned
+// route) into one drivable road: polylines are concatenated at their shared
+// junctions, altitude profiles are stitched continuously, and lane sections
+// are offset. The result lets a trip span a whole journey — including the
+// junction turns between streets — rather than one edge at a time.
+//
+// Each road's start must coincide with the previous road's end within
+// joinTolM meters (route edges share graph nodes, so this holds by
+// construction).
+func Concat(id string, roads []*Road) (*Road, error) {
+	const joinTolM = 2.0
+	if id == "" {
+		return nil, errors.New("road: empty id")
+	}
+	if len(roads) == 0 {
+		return nil, errors.New("road: nothing to concatenate")
+	}
+	if len(roads) == 1 {
+		return roads[0], nil
+	}
+
+	var pts []geo.ENU
+	var alts []float64
+	var sections []Section
+	spacing := roads[0].Profile().Spacing()
+	var offset float64
+	cls := roads[0].Class()
+
+	for i, r := range roads {
+		if r == nil {
+			return nil, fmt.Errorf("road: nil road at index %d", i)
+		}
+		if r.Profile().Spacing() != spacing {
+			return nil, fmt.Errorf("road: profile spacing mismatch at %d: %v vs %v",
+				i, r.Profile().Spacing(), spacing)
+		}
+		rp := r.Line().Points()
+		ra := r.Profile().Altitudes()
+		if i == 0 {
+			pts = append(pts, rp...)
+			alts = append(alts, ra...)
+		} else {
+			prevEnd := pts[len(pts)-1]
+			if d := math.Hypot(rp[0].E-prevEnd.E, rp[0].N-prevEnd.N); d > joinTolM {
+				return nil, fmt.Errorf("road: %s does not join %s (gap %.1f m)",
+					r.ID(), roads[i-1].ID(), d)
+			}
+			// Drop the duplicated junction vertex; skip degenerate
+			// near-duplicates that would break the polyline.
+			for _, p := range rp[1:] {
+				last := pts[len(pts)-1]
+				if math.Hypot(p.E-last.E, p.N-last.N) < 0.01 {
+					continue
+				}
+				pts = append(pts, p)
+			}
+			// Stitch altitude continuously: shift the incoming profile so
+			// its first sample matches the current end altitude (terrain
+			// makes these equal already; the shift removes survey noise
+			// steps).
+			shift := alts[len(alts)-1] - ra[0]
+			for _, a := range ra[1:] {
+				alts = append(alts, a+shift)
+			}
+		}
+		for _, sec := range r.Sections() {
+			sections = append(sections, Section{
+				StartS: sec.StartS + offset,
+				EndS:   sec.EndS + offset,
+				Lanes:  sec.Lanes,
+			})
+		}
+		offset += r.Length()
+		if r.Class() < cls {
+			cls = r.Class() // keep the highest class (lowest enum value)
+		}
+	}
+
+	line, err := geo.NewPolyline(pts)
+	if err != nil {
+		return nil, fmt.Errorf("road: concatenated geometry: %w", err)
+	}
+	// Each road's resampled profile can be up to ~spacing/2 longer than its
+	// geometry; over many segments the rounding accumulates. Trim or pad
+	// the stitched altitude series to the joined geometry's length.
+	wantSamples := int(math.Round(line.Length()/spacing)) + 1
+	for len(alts) > wantSamples {
+		alts = alts[:len(alts)-1]
+	}
+	for len(alts) < wantSamples {
+		alts = append(alts, alts[len(alts)-1])
+	}
+	prof, err := NewProfile(spacing, alts)
+	if err != nil {
+		return nil, fmt.Errorf("road: concatenated profile: %w", err)
+	}
+	// Joint geometry may differ slightly in length from the summed section
+	// table (vertex dedup); retile the section boundaries proportionally if
+	// they drifted beyond the validator's tolerance.
+	if len(sections) > 0 {
+		scale := line.Length() / sections[len(sections)-1].EndS
+		if scale != 1 {
+			prev := 0.0
+			for i := range sections {
+				sections[i].StartS = prev
+				sections[i].EndS *= scale
+				prev = sections[i].EndS
+			}
+		}
+	}
+	return NewRoad(id, line, prof, sections, cls)
+}

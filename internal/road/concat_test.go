@@ -1,0 +1,166 @@
+package road
+
+import (
+	"math"
+	"testing"
+
+	"roadgrade/internal/geo"
+)
+
+// chainRoads builds n geometrically consecutive straight roads with varying
+// grades, each lengthM long, heading east then bending at each junction.
+func chainRoads(t *testing.T, n int, lengthM float64) []*Road {
+	t.Helper()
+	var out []*Road
+	start := geo.ENU{}
+	heading := 0.0
+	alt := 180.0
+	for i := 0; i < n; i++ {
+		b := NewPathBuilder(start, heading, 5)
+		b.Straight(lengthM)
+		line, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		grade := Deg(float64(i%3) - 1) // -1, 0, +1 degrees
+		steps := int(lengthM / ProfileSpacingM)
+		grades := make([]float64, steps)
+		for j := range grades {
+			grades[j] = grade
+		}
+		prof, err := NewProfileFromGrades(ProfileSpacingM, grades, alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRoad(
+			// Unique ids.
+			string(rune('a'+i)), line, prof,
+			[]Section{{StartS: 0, EndS: line.Length(), Lanes: 1 + i%2}},
+			ClassLocal,
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+		start = line.At(line.Length())
+		heading += Deg(30) // bend at the junction
+		alt = prof.AltitudeAt(prof.Length())
+	}
+	return out
+}
+
+func TestConcatBasics(t *testing.T) {
+	roads := chainRoads(t, 3, 400)
+	joined, err := Concat("journey", roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(joined.Length()-1200) > 2 {
+		t.Errorf("length = %v, want ~1200", joined.Length())
+	}
+	// Grades survive per segment.
+	if g := joined.GradeAt(200); math.Abs(g-Deg(-1)) > 1e-6 {
+		t.Errorf("grade at 200 = %v, want -1 deg", g)
+	}
+	if g := joined.GradeAt(600); math.Abs(g) > 1e-6 {
+		t.Errorf("grade at 600 = %v, want 0", g)
+	}
+	if g := joined.GradeAt(1000); math.Abs(g-Deg(1)) > 1e-6 {
+		t.Errorf("grade at 1000 = %v, want +1 deg", g)
+	}
+	// Lane sections offset correctly (roads alternate 1 and 2 lanes).
+	if got := joined.LanesAt(200); got != 1 {
+		t.Errorf("lanes at 200 = %d", got)
+	}
+	if got := joined.LanesAt(600); got != 2 {
+		t.Errorf("lanes at 600 = %d", got)
+	}
+	// Altitude continuous across junctions.
+	for _, s := range []float64{399, 401, 799, 801} {
+		d := math.Abs(joined.AltitudeAt(s+1) - joined.AltitudeAt(s))
+		if d > 0.2 {
+			t.Errorf("altitude step %v at junction s=%v", d, s)
+		}
+	}
+	// Heading bends at the junction.
+	d0 := joined.DirectionAt(200)
+	d1 := joined.DirectionAt(600)
+	if math.Abs(geo.AngleDiff(d0, d1)-Deg(30)) > 0.01 {
+		t.Errorf("junction bend = %v, want 30 deg", geo.AngleDiff(d0, d1))
+	}
+}
+
+func TestConcatSingleRoadPassThrough(t *testing.T) {
+	roads := chainRoads(t, 1, 300)
+	joined, err := Concat("one", roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined != roads[0] {
+		t.Error("single-road concat should return the road itself")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	roads := chainRoads(t, 2, 300)
+	if _, err := Concat("", roads); err == nil {
+		t.Error("empty id should error")
+	}
+	if _, err := Concat("x", nil); err == nil {
+		t.Error("no roads should error")
+	}
+	if _, err := Concat("x", []*Road{roads[0], nil}); err == nil {
+		t.Error("nil road should error")
+	}
+	// Disjoint roads must be rejected.
+	far, err := StraightRoad("far", 300, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Concat("x", []*Road{roads[1], far}); err == nil {
+		t.Error("disjoint roads should error")
+	}
+}
+
+func TestConcatRouteEdges(t *testing.T) {
+	// Concatenate actual network route edges: consecutive edges share
+	// nodes, so they join within tolerance.
+	net, err := GenerateNetwork(13, NetworkConfig{TargetStreetKM: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk a few hops greedily.
+	cur := net.Nodes[0].ID
+	var roads []*Road
+	seen := map[int]bool{cur: true}
+	for len(roads) < 4 {
+		outs := net.Outgoing(cur)
+		var next *Edge
+		for _, e := range outs {
+			if !seen[e.To] {
+				next = e
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		roads = append(roads, next.Road)
+		seen[next.To] = true
+		cur = next.To
+	}
+	if len(roads) < 2 {
+		t.Skip("network walk too short")
+	}
+	joined, err := Concat("walk", roads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLen float64
+	for _, r := range roads {
+		wantLen += r.Length()
+	}
+	if math.Abs(joined.Length()-wantLen) > wantLen*0.01 {
+		t.Errorf("joined length %v, want ~%v", joined.Length(), wantLen)
+	}
+}

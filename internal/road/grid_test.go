@@ -1,0 +1,192 @@
+package road
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"roadgrade/internal/geo"
+)
+
+func TestNewGridTerrainValidation(t *testing.T) {
+	z4 := []float64{1, 2, 3, 4}
+	if _, err := NewGridTerrain(0, 0, 0, 2, 2, z4); err == nil {
+		t.Error("zero cell should error")
+	}
+	if _, err := NewGridTerrain(0, 0, 10, 1, 2, z4[:2]); err == nil {
+		t.Error("1 row should error")
+	}
+	if _, err := NewGridTerrain(0, 0, 10, 2, 2, z4[:3]); err == nil {
+		t.Error("wrong sample count should error")
+	}
+	g, err := NewGridTerrain(0, 0, 10, 2, 2, z4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constructor copies the input.
+	z4[0] = 99
+	if g.ElevationAt(geo.ENU{}) != 1 {
+		t.Error("grid aliases caller slice")
+	}
+}
+
+func TestGridBilinearInterpolation(t *testing.T) {
+	// z = E/10 + 2*N/10 over a 3x3 grid with 10 m cells: bilinear
+	// interpolation reproduces a plane exactly.
+	var z []float64
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			z = append(z, float64(c)+2*float64(r))
+		}
+	}
+	g, err := NewGridTerrain(0, 0, 10, 3, 3, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		e, n, want float64
+	}{
+		{0, 0, 0},
+		{10, 0, 1},
+		{0, 10, 2},
+		{5, 5, 1.5},
+		{15, 15, 4.5},
+		{20, 20, 6},
+		// Clamped outside.
+		{-5, 0, 0},
+		{25, 25, 6},
+	}
+	for _, tt := range tests {
+		if got := g.ElevationAt(geo.ENU{E: tt.e, N: tt.n}); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("ElevationAt(%v,%v) = %v, want %v", tt.e, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestGridCSVRoundTrip(t *testing.T) {
+	src := NewTerrain(5, TerrainConfig{})
+	g, err := SampleToGrid(src, -200, -100, 50, 12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGridCSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGridCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []geo.ENU{{E: 0, N: 0}, {E: 123, N: 77}, {E: -150, N: 400}} {
+		if a, b := g.ElevationAt(p), got.ElevationAt(p); math.Abs(a-b) > 1e-9 {
+			t.Errorf("round trip elevation at %+v: %v vs %v", p, a, b)
+		}
+	}
+}
+
+func TestReadGridCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad-header", "nope,1,2\n1,2\n3,4\n"},
+		{"bad-float-header", "grid,x,0,10,2,2\n1,2\n3,4\n"},
+		{"bad-rows", "grid,0,0,10,x,2\n1,2\n3,4\n"},
+		{"bad-cols", "grid,0,0,10,2,x\n1,2\n3,4\n"},
+		{"row-count", "grid,0,0,10,3,2\n1,2\n3,4\n"},
+		{"col-count", "grid,0,0,10,2,2\n1,2,3\n3,4\n"},
+		{"bad-cell", "grid,0,0,10,2,2\n1,x\n3,4\n"},
+		{"nan-cell", "grid,0,0,10,2,2\n1,NaN\n3,4\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadGridCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestSampleToGridMatchesSource(t *testing.T) {
+	src := NewTerrain(9, TerrainConfig{})
+	g, err := SampleToGrid(src, 0, 0, 20, 30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At grid nodes the sampled grid equals the source exactly; between
+	// nodes, bilinear interpolation of a smooth field stays close.
+	var worst float64
+	for e := 5.0; e < 560; e += 37 {
+		for n := 5.0; n < 560; n += 41 {
+			p := geo.ENU{E: e, N: n}
+			if d := math.Abs(g.ElevationAt(p) - src.ElevationAt(p)); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.5 {
+		t.Errorf("worst grid interpolation error %v m over 20 m cells", worst)
+	}
+	// Errors.
+	if _, err := SampleToGrid(nil, 0, 0, 10, 4, 4); err == nil {
+		t.Error("nil field should error")
+	}
+	if _, err := SampleToGrid(src, 0, 0, 0, 4, 4); err == nil {
+		t.Error("bad spec should error")
+	}
+}
+
+func TestGridDrivesRoadProfile(t *testing.T) {
+	// A road built over an imported grid behaves like any other road.
+	var z []float64
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 40; c++ {
+			z = append(z, float64(c)*0.5) // steady eastward climb: 0.5 m per 25 m
+		}
+	}
+	g, err := NewGridTerrain(0, -30, 25, 4, 40, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewPathBuilder(geo.ENU{}, 0, 5)
+	b.Straight(900)
+	line, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := g.ProfileAlong(line, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRoad("grid-road", line, prof, nil, ClassLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGrade := math.Asin(0.5 / 25)
+	if got := r.GradeAt(450); math.Abs(got-wantGrade) > 1e-6 {
+		t.Errorf("grid road grade = %v, want %v", got, wantGrade)
+	}
+}
+
+func TestProfileAlongFieldNil(t *testing.T) {
+	b := NewPathBuilder(geo.ENU{}, 0, 5)
+	b.Straight(100)
+	line, _ := b.Build()
+	if _, err := ProfileAlongField(nil, line, 5); err == nil {
+		t.Error("nil field should error")
+	}
+}
+
+func BenchmarkGridElevationAt(b *testing.B) {
+	src := NewTerrain(3, TerrainConfig{})
+	g, err := SampleToGrid(src, 0, 0, 30, 50, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ElevationAt(geo.ENU{E: float64(i % 1400), N: float64((i * 7) % 1400)})
+	}
+}

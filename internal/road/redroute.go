@@ -1,0 +1,114 @@
+package road
+
+import (
+	"fmt"
+	"math"
+
+	"roadgrade/internal/geo"
+)
+
+// Deg converts degrees to radians; exported for route-spec readability.
+func Deg(d float64) float64 { return d * math.Pi / 180 }
+
+// RedRouteSpec returns the section table of the paper's small-scale "red"
+// evaluation route (Figure 7(b), Table III): 2.16 km split into seven
+// sections with alternating uphill (+) / downhill (-) grades and the lane
+// counts 1,1,1,1,2,2,1.
+func RedRouteSpec() []SectionSpec {
+	return []SectionSpec{
+		{LengthM: 300, PeakGradeRad: Deg(+2.6), Lanes: 1}, // section 0-1, uphill
+		{LengthM: 320, PeakGradeRad: Deg(-3.2), Lanes: 1}, // section 1-2, downhill
+		{LengthM: 280, PeakGradeRad: Deg(+3.8), Lanes: 1}, // section 2-3, uphill
+		{LengthM: 340, PeakGradeRad: Deg(-2.4), Lanes: 1}, // section 3-4, downhill
+		{LengthM: 360, PeakGradeRad: Deg(+3.4), Lanes: 2}, // section 4-5, uphill
+		{LengthM: 280, PeakGradeRad: Deg(-2.8), Lanes: 2}, // section 5-6, downhill
+		{LengthM: 280, PeakGradeRad: Deg(+2.0), Lanes: 1}, // section 6-7, uphill
+	}
+}
+
+// RedRouteLengthM is the total length of the red route (2.16 km).
+const RedRouteLengthM = 2160.0
+
+// ProfileSpacingM is the reference-profile segment length used throughout
+// the evaluation (§IV-A2 sets it to 1 meter).
+const ProfileSpacingM = 1.0
+
+// RedRoute constructs the small-scale evaluation route. The planar geometry
+// is mostly straight with two gentle bends (the route is used for grade and
+// lane-change evaluation, not curve handling), and the vertical profile
+// follows RedRouteSpec.
+func RedRoute() (*Road, error) {
+	specs := RedRouteSpec()
+	b := NewPathBuilder(origin(), 0, 5)
+	b.Straight(700).
+		Arc(220, Deg(25)).
+		Straight(600).
+		Arc(260, Deg(-20))
+	// Size the final straight so the geometry matches the 2160 m spec.
+	b.Straight(RedRouteLengthM - b.Length())
+	line, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("road: building red route geometry: %w", err)
+	}
+	prof, sections, err := BuildProfileFromSections(specs, ProfileSpacingM, 180)
+	if err != nil {
+		return nil, fmt.Errorf("road: building red route profile: %w", err)
+	}
+	return NewRoad("red-route", line, prof, sections, ClassCollector)
+}
+
+// SCurveRoad constructs a road containing the Figure 5 "S-sharp" geometry:
+// a straight lead-in, two opposite arcs, and a straight lead-out. The sweep
+// angle and radius control how aggressive the S is; the defaults (radius
+// 60 m, sweep 35°) produce steering-rate bumps comparable to lane changes
+// but a horizontal displacement far above 3·W_lane.
+func SCurveRoad(radius, sweepRad float64) (*Road, error) {
+	if radius <= 0 {
+		radius = 60
+	}
+	if sweepRad == 0 {
+		sweepRad = Deg(35)
+	}
+	b := NewPathBuilder(origin(), 0, 3)
+	b.Straight(200).SCurve(radius, sweepRad).Straight(200)
+	line, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("road: building s-curve geometry: %w", err)
+	}
+	// Flat profile: the S-curve experiment isolates steering, not grade.
+	n := int(math.Round(line.Length()/ProfileSpacingM)) + 1
+	alts := make([]float64, n)
+	for i := range alts {
+		alts[i] = 180
+	}
+	prof, err := NewProfile(ProfileSpacingM, alts)
+	if err != nil {
+		return nil, fmt.Errorf("road: building s-curve profile: %w", err)
+	}
+	return NewRoad("s-curve", line, prof, nil, ClassLocal)
+}
+
+// StraightRoad returns a straight flat-or-graded road of the given length,
+// lanes and constant grade; the basic fixture for unit tests and steering
+// calibration experiments.
+func StraightRoad(id string, lengthM, gradeRad float64, lanes int) (*Road, error) {
+	b := NewPathBuilder(origin(), 0, 5)
+	b.Straight(lengthM)
+	line, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("road: building straight road: %w", err)
+	}
+	n := int(math.Round(lengthM / ProfileSpacingM))
+	grades := make([]float64, n)
+	for i := range grades {
+		grades[i] = gradeRad
+	}
+	prof, err := NewProfileFromGrades(ProfileSpacingM, grades, 180)
+	if err != nil {
+		return nil, fmt.Errorf("road: building straight profile: %w", err)
+	}
+	sections := []Section{{StartS: 0, EndS: line.Length(), Lanes: lanes}}
+	return NewRoad(id, line, prof, sections, ClassLocal)
+}
+
+func origin() geo.ENU { return geo.ENU{} }

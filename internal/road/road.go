@@ -1,0 +1,146 @@
+package road
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/geo"
+)
+
+// Class categorizes a road for traffic-volume assignment (Fig. 10(b) uses
+// AADT per street class).
+type Class int
+
+// Road classes, from highest to lowest traffic volume.
+const (
+	ClassArterial Class = iota + 1
+	ClassCollector
+	ClassLocal
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassArterial:
+		return "arterial"
+	case ClassCollector:
+		return "collector"
+	case ClassLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Section is a stretch of road with a constant lane count, per Table III.
+type Section struct {
+	StartS float64 // arc length where the section begins (m)
+	EndS   float64 // arc length where the section ends (m)
+	Lanes  int     // lanes in the driving direction
+}
+
+// Road is one drivable road: planar geometry, vertical profile, lane
+// sections and a class.
+type Road struct {
+	id       string
+	line     *geo.Polyline
+	profile  *Profile
+	sections []Section
+	class    Class
+}
+
+// NewRoad assembles a road. The profile must cover the polyline length
+// (within one profile spacing) and sections must tile [0, length) in order.
+func NewRoad(id string, line *geo.Polyline, profile *Profile, sections []Section, class Class) (*Road, error) {
+	if id == "" {
+		return nil, errors.New("road: empty id")
+	}
+	if line == nil || profile == nil {
+		return nil, errors.New("road: nil geometry or profile")
+	}
+	if math.Abs(line.Length()-profile.Length()) > profile.Spacing()+1 {
+		return nil, fmt.Errorf("road %s: profile length %.1f does not cover line length %.1f",
+			id, profile.Length(), line.Length())
+	}
+	if len(sections) == 0 {
+		sections = []Section{{StartS: 0, EndS: line.Length(), Lanes: 1}}
+	}
+	prevEnd := 0.0
+	for i, sec := range sections {
+		if sec.Lanes < 1 {
+			return nil, fmt.Errorf("road %s: section %d has %d lanes", id, i, sec.Lanes)
+		}
+		if math.Abs(sec.StartS-prevEnd) > 1e-6 {
+			return nil, fmt.Errorf("road %s: section %d starts at %.2f, want %.2f", id, i, sec.StartS, prevEnd)
+		}
+		if sec.EndS <= sec.StartS {
+			return nil, fmt.Errorf("road %s: section %d is empty", id, i)
+		}
+		prevEnd = sec.EndS
+	}
+	if math.Abs(prevEnd-line.Length()) > 1 {
+		return nil, fmt.Errorf("road %s: sections end at %.2f, road length %.2f", id, prevEnd, line.Length())
+	}
+	secs := make([]Section, len(sections))
+	copy(secs, sections)
+	return &Road{id: id, line: line, profile: profile, sections: secs, class: class}, nil
+}
+
+// ID returns the road identifier.
+func (r *Road) ID() string { return r.id }
+
+// Class returns the road class.
+func (r *Road) Class() Class { return r.class }
+
+// Line returns the planar geometry.
+func (r *Road) Line() *geo.Polyline { return r.line }
+
+// Profile returns the vertical profile.
+func (r *Road) Profile() *Profile { return r.profile }
+
+// Length returns the road length in meters.
+func (r *Road) Length() float64 { return r.line.Length() }
+
+// Sections returns a copy of the lane sections.
+func (r *Road) Sections() []Section {
+	out := make([]Section, len(r.sections))
+	copy(out, r.sections)
+	return out
+}
+
+// LanesAt returns the lane count at arc length s.
+func (r *Road) LanesAt(s float64) int {
+	for _, sec := range r.sections {
+		if s < sec.EndS {
+			return sec.Lanes
+		}
+	}
+	return r.sections[len(r.sections)-1].Lanes
+}
+
+// GradeAt returns the true road gradient (radians) at arc length s.
+func (r *Road) GradeAt(s float64) float64 { return r.profile.GradeAt(s) }
+
+// AltitudeAt returns the true altitude (m) at arc length s.
+func (r *Road) AltitudeAt(s float64) float64 { return r.profile.AltitudeAt(s) }
+
+// PositionAt returns the planar position at arc length s.
+func (r *Road) PositionAt(s float64) geo.ENU { return r.line.At(s) }
+
+// DirectionAt returns the road tangent heading (CCW from East) at s.
+func (r *Road) DirectionAt(s float64) float64 { return r.line.DirectionAt(s) }
+
+// MeanAbsGradeDeg returns the mean absolute grade in degrees sampled every
+// profile spacing; used by experiments to characterize routes.
+func (r *Road) MeanAbsGradeDeg(samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	var sum float64
+	for i := 0; i < samples; i++ {
+		s := r.Length() * float64(i) / float64(samples-1)
+		sum += math.Abs(r.GradeAt(s))
+	}
+	return sum / float64(samples) * 180 / math.Pi
+}

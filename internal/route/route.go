@@ -1,0 +1,164 @@
+// Package route implements eco-routing on the road network — the
+// application the paper motivates: once road gradients are known, fuel
+// consumption per road is predictable and routes can be planned to minimize
+// fuel rather than distance. Routing is Dijkstra's algorithm over the
+// directed edge graph with a pluggable edge-cost function.
+package route
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"roadgrade/internal/fuel"
+	"roadgrade/internal/road"
+)
+
+// CostFunc assigns a non-negative traversal cost to an edge.
+type CostFunc func(e *road.Edge) (float64, error)
+
+// DistanceCost minimizes travelled meters.
+func DistanceCost(e *road.Edge) (float64, error) {
+	return e.Road.Length(), nil
+}
+
+// TimeCost minimizes travel time at a fixed cruise speed.
+func TimeCost(speedMS float64) CostFunc {
+	return func(e *road.Edge) (float64, error) {
+		if speedMS <= 0 {
+			return 0, fmt.Errorf("route: speed %v must be positive", speedMS)
+		}
+		return e.Road.Length() / speedMS, nil
+	}
+}
+
+// FuelCost minimizes gallons burned, integrating the Eq. (7) rate over each
+// edge's gradient profile at a fixed cruise speed. grade selects the profile
+// (true or estimated).
+func FuelCost(speedMS float64, grade fuel.GradeFunc, params fuel.VSPParams) CostFunc {
+	return func(e *road.Edge) (float64, error) {
+		rf, err := fuel.RoadFuelAt(e.Road, speedMS, grade, params)
+		if err != nil {
+			return 0, err
+		}
+		hours := e.Road.Length() / speedMS / 3600
+		return rf.MeanGPH * hours, nil
+	}
+}
+
+// Route is a path through the network.
+type Route struct {
+	Edges []*road.Edge
+	// Cost is the summed edge cost under the requested CostFunc.
+	Cost float64
+}
+
+// LengthM returns the route's total length.
+func (r Route) LengthM() float64 {
+	var sum float64
+	for _, e := range r.Edges {
+		sum += e.Road.Length()
+	}
+	return sum
+}
+
+// FuelGallons evaluates the route's fuel under a grade source, regardless of
+// the cost function it was planned with.
+func (r Route) FuelGallons(speedMS float64, grade fuel.GradeFunc, params fuel.VSPParams) (float64, error) {
+	var sum float64
+	costFn := FuelCost(speedMS, grade, params)
+	for _, e := range r.Edges {
+		c, err := costFn(e)
+		if err != nil {
+			return 0, err
+		}
+		sum += c
+	}
+	return sum, nil
+}
+
+// pqItem is a priority-queue entry.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Shortest runs Dijkstra from node `from` to node `to` under cost.
+func Shortest(net *road.Network, from, to int, cost CostFunc) (Route, error) {
+	if net == nil {
+		return Route{}, errors.New("route: nil network")
+	}
+	if cost == nil {
+		return Route{}, errors.New("route: nil cost function")
+	}
+	valid := make(map[int]bool, len(net.Nodes))
+	for _, n := range net.Nodes {
+		valid[n.ID] = true
+	}
+	if !valid[from] || !valid[to] {
+		return Route{}, fmt.Errorf("route: unknown endpoint %d -> %d", from, to)
+	}
+
+	dist := map[int]float64{from: 0}
+	prev := map[int]*road.Edge{}
+	done := map[int]bool{}
+	q := &pq{{node: from, dist: 0}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if cur.node == to {
+			break
+		}
+		for _, e := range net.Outgoing(cur.node) {
+			if done[e.To] {
+				continue
+			}
+			c, err := cost(e)
+			if err != nil {
+				return Route{}, fmt.Errorf("route: cost of %s: %w", e.Road.ID(), err)
+			}
+			if c < 0 {
+				return Route{}, fmt.Errorf("route: negative cost %v on %s", c, e.Road.ID())
+			}
+			nd := cur.dist + c
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				prev[e.To] = e
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	if !done[to] {
+		if from == to {
+			return Route{Cost: 0}, nil
+		}
+		return Route{}, fmt.Errorf("route: no path from %d to %d", from, to)
+	}
+
+	// Reconstruct.
+	var edges []*road.Edge
+	for at := to; at != from; {
+		e := prev[at]
+		if e == nil {
+			return Route{}, fmt.Errorf("route: broken predecessor chain at %d", at)
+		}
+		edges = append(edges, e)
+		at = e.From
+	}
+	// Reverse into travel order.
+	for i, j := 0, len(edges)-1; i < j; i, j = i+1, j-1 {
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	return Route{Edges: edges, Cost: dist[to]}, nil
+}

@@ -1,0 +1,194 @@
+package route
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"roadgrade/internal/fuel"
+	"roadgrade/internal/geo"
+	"roadgrade/internal/road"
+)
+
+// diamondNetwork builds a four-node diamond: 0 -> 1 -> 3 (hilly but short)
+// and 0 -> 2 -> 3 (flat but longer).
+func diamondNetwork(t *testing.T) *road.Network {
+	t.Helper()
+	nodes := []road.Node{
+		{ID: 0, Pos: geo.ENU{E: 0, N: 0}},
+		{ID: 1, Pos: geo.ENU{E: 500, N: 200}},
+		{ID: 2, Pos: geo.ENU{E: 500, N: -300}},
+		{ID: 3, Pos: geo.ENU{E: 1000, N: 0}},
+	}
+	mk := func(id string, length, gradeDeg float64) *road.Road {
+		r, err := road.StraightRoad(id, length, road.Deg(gradeDeg), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	edges := []*road.Edge{
+		{From: 0, To: 1, Road: mk("up-a", 500, 4)},
+		{From: 1, To: 3, Road: mk("up-b", 500, 4)},
+		{From: 0, To: 2, Road: mk("flat-a", 700, 0)},
+		{From: 2, To: 3, Road: mk("flat-b", 700, 0)},
+	}
+	net, err := road.NewNetwork(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestDistanceCostPrefersShort(t *testing.T) {
+	net := diamondNetwork(t)
+	r, err := Shortest(net, 0, 3, DistanceCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Edges) != 2 || r.Edges[0].Road.ID() != "up-a" {
+		t.Errorf("distance route = %v", ids(r))
+	}
+	if math.Abs(r.LengthM()-1000) > 1 {
+		t.Errorf("length = %v", r.LengthM())
+	}
+}
+
+func TestFuelCostAvoidsHill(t *testing.T) {
+	net := diamondNetwork(t)
+	v := 40.0 / 3.6
+	r, err := Shortest(net, 0, 3, FuelCost(v, fuel.TrueGrade, fuel.TableII()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Edges) != 2 || r.Edges[0].Road.ID() != "flat-a" {
+		t.Errorf("fuel route = %v; the 4-degree climb should cost more than 400 extra meters", ids(r))
+	}
+	// Fuel on the eco route is below fuel on the short route.
+	short, err := Shortest(net, 0, 3, DistanceCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fEco, err := r.FuelGallons(v, fuel.TrueGrade, fuel.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fShort, err := short.FuelGallons(v, fuel.TrueGrade, fuel.TableII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fEco >= fShort {
+		t.Errorf("eco fuel %v >= short fuel %v", fEco, fShort)
+	}
+}
+
+func TestTimeCost(t *testing.T) {
+	net := diamondNetwork(t)
+	r, err := Shortest(net, 0, 3, TimeCost(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-100) > 0.5 {
+		t.Errorf("time = %v, want ~100 s", r.Cost)
+	}
+	if _, err := Shortest(net, 0, 3, TimeCost(0)); err == nil {
+		t.Error("zero speed should error")
+	}
+}
+
+func TestShortestValidation(t *testing.T) {
+	net := diamondNetwork(t)
+	if _, err := Shortest(nil, 0, 1, DistanceCost); err == nil {
+		t.Error("nil network should error")
+	}
+	if _, err := Shortest(net, 0, 1, nil); err == nil {
+		t.Error("nil cost should error")
+	}
+	if _, err := Shortest(net, 0, 99, DistanceCost); err == nil {
+		t.Error("unknown endpoint should error")
+	}
+}
+
+func TestShortestSameNode(t *testing.T) {
+	net := diamondNetwork(t)
+	r, err := Shortest(net, 2, 2, DistanceCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Edges) != 0 || r.Cost != 0 {
+		t.Errorf("self route = %+v", r)
+	}
+}
+
+func TestShortestUnreachable(t *testing.T) {
+	// 5 is isolated.
+	nodes := []road.Node{{ID: 0}, {ID: 5, Pos: geo.ENU{E: 9999, N: 9999}}}
+	net, err := road.NewNetwork(nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Shortest(net, 0, 5, DistanceCost); err == nil {
+		t.Error("unreachable target should error")
+	}
+}
+
+func TestNegativeCostRejected(t *testing.T) {
+	net := diamondNetwork(t)
+	bad := func(e *road.Edge) (float64, error) { return -1, nil }
+	if _, err := Shortest(net, 0, 3, bad); err == nil {
+		t.Error("negative cost should error")
+	}
+	failing := func(e *road.Edge) (float64, error) { return 0, errors.New("boom") }
+	if _, err := Shortest(net, 0, 3, failing); err == nil {
+		t.Error("cost error should propagate")
+	}
+}
+
+func TestShortestOnGeneratedNetwork(t *testing.T) {
+	net, err := road.GenerateNetwork(13, road.NetworkConfig{TargetStreetKM: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := net.Nodes[0].ID
+	to := net.Nodes[len(net.Nodes)-1].ID
+	r, err := Shortest(net, from, to, DistanceCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Edges) == 0 {
+		t.Fatal("empty route across grid")
+	}
+	// Route is connected: consecutive edges share nodes.
+	for i := 1; i < len(r.Edges); i++ {
+		if r.Edges[i].From != r.Edges[i-1].To {
+			t.Fatalf("disconnected route at %d", i)
+		}
+	}
+	if r.Edges[0].From != from || r.Edges[len(r.Edges)-1].To != to {
+		t.Error("route endpoints wrong")
+	}
+}
+
+func ids(r Route) []string {
+	out := make([]string, 0, len(r.Edges))
+	for _, e := range r.Edges {
+		out = append(out, e.Road.ID())
+	}
+	return out
+}
+
+func BenchmarkShortestDistance(b *testing.B) {
+	net, err := road.GenerateNetwork(13, road.NetworkConfig{TargetStreetKM: 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := net.Nodes[0].ID
+	to := net.Nodes[len(net.Nodes)-1].ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Shortest(net, from, to, DistanceCost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package sensors
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/frame"
+)
+
+// AlignResult reports what AlignTrace recovered.
+type AlignResult struct {
+	// Mount is the estimated phone mounting orientation.
+	Mount frame.Mount
+	// StationaryStart/End and AccelStart/End are the windows (seconds)
+	// used for gravity and forward-acceleration estimation.
+	StationaryStart, StationaryEnd float64
+	AccelStart, AccelEnd           float64
+}
+
+// AlignTrace implements the §III-A / [14] coordinate alignment on a raw
+// trace: it finds a stationary window (gravity only) and a launch window
+// (gravity + forward force) in the phone-frame IMU data, estimates the
+// mounting orientation, and rewrites the trace's aligned channels
+// (AccelLong, GyroYaw) from the raw 3-axis measurements.
+//
+// The trace must begin with a stop-and-launch phase (simulate with
+// vehicle.TripConfig.WarmupStopS); real drives have one at every trip start.
+func AlignTrace(tr *Trace) (AlignResult, error) {
+	if tr == nil || len(tr.Records) == 0 {
+		return AlignResult{}, errors.New("sensors: empty trace")
+	}
+	dt := tr.DT
+	const (
+		stopSpeedMS = 0.3
+		minStopS    = 1.0
+		minLaunchS  = 1.5
+	)
+
+	// Stationary window: scan a smoothed speed signal (raw speedometer
+	// noise is comparable to the threshold), then trim the tail so launch
+	// samples cannot contaminate the gravity average.
+	smoothWin := int(0.5 / dt)
+	if smoothWin < 1 {
+		smoothWin = 1
+	}
+	smoothSpeed := func(i int) float64 {
+		lo := i - smoothWin
+		if lo < 0 {
+			lo = 0
+		}
+		var sum float64
+		for j := lo; j <= i; j++ {
+			sum += tr.Records[j].Speedometer
+		}
+		return sum / float64(i-lo+1)
+	}
+	// The smoothed speed needs a full window before it is trustworthy, so
+	// the scan starts one window in; anything shorter than minStopS is
+	// rejected below anyway.
+	stopEnd := smoothWin
+	for stopEnd < len(tr.Records) && smoothSpeed(stopEnd) < stopSpeedMS {
+		stopEnd++
+	}
+	stopEnd -= smoothWin // trim the smoothing lag plus launch boundary
+	if float64(stopEnd)*dt < minStopS {
+		return AlignResult{}, fmt.Errorf("sensors: no stationary window at trace start (%.1f s < %.1f s)",
+			math.Max(0, float64(stopEnd))*dt, minStopS)
+	}
+
+	// Launch window: once the vehicle is unambiguously rolling (smoothed
+	// speed past 0.8 m/s) the drivetrain is delivering strong forward
+	// acceleration; average over the following stretch.
+	const rollingMS = 0.8
+	launchStart := -1
+	for i := stopEnd; i < len(tr.Records); i++ {
+		if smoothSpeed(i) >= rollingMS {
+			launchStart = i
+			break
+		}
+		if float64(i-stopEnd)*dt > 60 {
+			break // no launch found near the stop
+		}
+	}
+	if launchStart < 0 {
+		return AlignResult{}, errors.New("sensors: no launch window after the stop")
+	}
+	launchEnd := launchStart + int(minLaunchS/dt)
+	if launchEnd > len(tr.Records) {
+		launchEnd = len(tr.Records)
+	}
+
+	stationary := make([]frame.Vec3, 0, stopEnd)
+	for i := 0; i < stopEnd; i++ {
+		stationary = append(stationary, rawAccel(tr.Records[i]))
+	}
+	accelerating := make([]frame.Vec3, 0, launchEnd-launchStart)
+	for i := launchStart; i < launchEnd; i++ {
+		accelerating = append(accelerating, rawAccel(tr.Records[i]))
+	}
+	mount, err := frame.EstimateMount(stationary, accelerating)
+	if err != nil {
+		return AlignResult{}, fmt.Errorf("sensors: estimating mount: %w", err)
+	}
+
+	// Realign the whole trace.
+	for i := range tr.Records {
+		rec := &tr.Records[i]
+		acc := mount.VehicleReading(rawAccel(*rec))
+		gyr := mount.VehicleReading(rawGyro(*rec))
+		rec.AccelLong = acc.Y
+		rec.GyroYaw = gyr.Z
+	}
+	return AlignResult{
+		Mount:           mount,
+		StationaryStart: 0,
+		StationaryEnd:   float64(stopEnd) * dt,
+		AccelStart:      float64(launchStart) * dt,
+		AccelEnd:        float64(launchEnd) * dt,
+	}, nil
+}
+
+func rawAccel(r Record) frame.Vec3 {
+	return frame.Vec3{X: r.RawAccelX, Y: r.RawAccelY, Z: r.RawAccelZ}
+}
+
+func rawGyro(r Record) frame.Vec3 {
+	return frame.Vec3{X: r.RawGyroX, Y: r.RawGyroY, Z: r.RawGyroZ}
+}
+
+// MisalignmentError quantifies how far a mount estimate is from the truth,
+// as the worst per-axis angle difference in radians.
+func MisalignmentError(got, want frame.Mount) float64 {
+	return math.Max(math.Abs(angleDiff(got.Yaw, want.Yaw)),
+		math.Max(math.Abs(angleDiff(got.Pitch, want.Pitch)),
+			math.Abs(angleDiff(got.Roll, want.Roll))))
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	} else if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}

@@ -1,0 +1,240 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadgrade/internal/frame"
+	"roadgrade/internal/road"
+	"roadgrade/internal/vehicle"
+)
+
+// warmupTrace simulates a trip with a stationary warmup and the given phone
+// mount. The road is level at the start: like the real [14] procedure, mount
+// calibration on a slope folds the slope into the pitch estimate (see
+// TestAlignTraceSlopeConfound).
+func warmupTrace(t testing.TB, mount frame.Mount, seed int64) *Trace {
+	t.Helper()
+	r, err := road.StraightRoad("imu-test", 800, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road:        r,
+		Driver:      vehicle.DefaultDriver(13),
+		Rng:         rand.New(rand.NewSource(seed)),
+		WarmupStopS: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mount = mount
+	tr, err := Sample(trip, cfg, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRawAxesAlignedMount(t *testing.T) {
+	tr := warmupTrace(t, frame.Mount{}, 1)
+	// With an aligned phone, the naive channels are the raw Y/Z axes.
+	for i, rec := range tr.Records[:100] {
+		if rec.AccelLong != rec.RawAccelY || rec.GyroYaw != rec.RawGyroZ {
+			t.Fatalf("record %d: naive channels diverge from raw axes", i)
+		}
+	}
+	// During the warmup stop, Z-axis accel reads gravity.
+	var zSum float64
+	var n int
+	for _, rec := range tr.Records {
+		if rec.T < 3 {
+			zSum += rec.RawAccelZ
+			n++
+		}
+	}
+	if got := zSum / float64(n); math.Abs(got-vehicle.Gravity) > 0.1 {
+		t.Errorf("stationary Z accel = %v, want ~g", got)
+	}
+}
+
+func TestMisalignedMountCorruptsNaiveChannels(t *testing.T) {
+	mount := frame.Mount{Yaw: 0.5, Pitch: 0.15, Roll: -0.1}
+	tr := warmupTrace(t, mount, 2)
+	// A 0.15 rad pitch leaks a g·sin(pitch) ≈ 1.47 m/s² gravity bias into
+	// the naive longitudinal channel while parked.
+	var sum float64
+	var n int
+	for _, rec := range tr.Records {
+		if rec.T < 3 {
+			sum += rec.AccelLong
+			n++
+		}
+	}
+	bias := sum / float64(n)
+	if math.Abs(bias) < 0.5 {
+		t.Errorf("misaligned stationary AccelLong bias = %v, expected a large gravity leak", bias)
+	}
+}
+
+func TestAlignTraceRecoversMount(t *testing.T) {
+	tests := []frame.Mount{
+		{},
+		{Yaw: 0.5},
+		{Pitch: 0.2, Roll: -0.12},
+		{Yaw: -1.2, Pitch: 0.1, Roll: 0.15},
+	}
+	for i, mount := range tests {
+		tr := warmupTrace(t, mount, int64(10+i))
+		res, err := AlignTrace(tr)
+		if err != nil {
+			t.Fatalf("mount %+v: %v", mount, err)
+		}
+		if e := MisalignmentError(res.Mount, mount); e > 0.05 {
+			t.Errorf("mount %+v: recovered %+v (err %v rad)", mount, res.Mount, e)
+		}
+		if res.StationaryEnd <= res.StationaryStart {
+			t.Error("stationary window empty")
+		}
+		if res.AccelEnd <= res.AccelStart {
+			t.Error("launch window empty")
+		}
+		// After realignment the stationary AccelLong is near zero.
+		var sum float64
+		var n int
+		for _, rec := range tr.Records {
+			if rec.T < 3 {
+				sum += rec.AccelLong
+				n++
+			}
+		}
+		if bias := sum / float64(n); math.Abs(bias) > 0.15 {
+			t.Errorf("mount %+v: post-alignment stationary bias %v", mount, bias)
+		}
+	}
+}
+
+func TestAlignTraceErrors(t *testing.T) {
+	if _, err := AlignTrace(nil); err == nil {
+		t.Error("nil trace should error")
+	}
+	if _, err := AlignTrace(&Trace{}); err == nil {
+		t.Error("empty trace should error")
+	}
+	// A trace without a warmup stop cannot be aligned.
+	r, err := road.StraightRoad("nostop", 500, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road: r, Driver: vehicle.DefaultDriver(13), Rng: rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Sample(trip, DefaultConfig(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AlignTrace(tr); err == nil {
+		t.Error("trace without a stop should error")
+	}
+}
+
+func TestAlignTraceSlopeConfound(t *testing.T) {
+	// Documented limitation: calibrating the mount while parked on a grade
+	// absorbs the grade into the pitch estimate — the estimator cannot
+	// distinguish a tilted phone from a tilted road. Systems relying on
+	// this alignment should calibrate on level ground.
+	r, err := road.StraightRoad("slope", 800, road.Deg(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road:        r,
+		Driver:      vehicle.DefaultDriver(13),
+		Rng:         rand.New(rand.NewSource(21)),
+		WarmupStopS: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Sample(trip, DefaultConfig(), rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AlignTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aligned phone on a +3° grade yields a pitch estimate near the
+	// negated grade (the slope leaks into the mount).
+	if math.Abs(res.Mount.Pitch-(-road.Deg(3))) > road.Deg(1.2) {
+		t.Errorf("pitch estimate %v rad; expected ~%v (slope confound)",
+			res.Mount.Pitch, -road.Deg(3))
+	}
+}
+
+func TestMisalignmentError(t *testing.T) {
+	a := frame.Mount{Yaw: 0.1, Pitch: 0.2, Roll: 0.3}
+	if got := MisalignmentError(a, a); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	b := frame.Mount{Yaw: 0.3, Pitch: 0.2, Roll: 0.3}
+	if got := MisalignmentError(a, b); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("distance = %v, want 0.2", got)
+	}
+	// Wrap-around.
+	c := frame.Mount{Yaw: math.Pi - 0.05}
+	d := frame.Mount{Yaw: -math.Pi + 0.05}
+	if got := MisalignmentError(c, d); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("wrapped distance = %v, want 0.1", got)
+	}
+}
+
+func TestCentripetalForceOnCurve(t *testing.T) {
+	// Driving a curve, the lateral accelerometer axis must read the
+	// centripetal force (for an aligned phone).
+	r, err := road.SCurveRoad(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := vehicle.SimulateTrip(vehicle.TripConfig{
+		Road:               r,
+		Driver:             vehicle.DefaultDriver(11),
+		Rng:                rand.New(rand.NewSource(5)),
+		DisableLaneChanges: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Sample(trip, DefaultConfig(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worstLat float64
+	for _, rec := range tr.Records {
+		if math.Abs(rec.RawAccelX) > worstLat {
+			worstLat = math.Abs(rec.RawAccelX)
+		}
+	}
+	// v²/r = 11²/60 ≈ 2 m/s² through the arcs.
+	if worstLat < 1.0 {
+		t.Errorf("peak lateral specific force %v, expected ~2 m/s² in the S-curve", worstLat)
+	}
+}
+
+func BenchmarkAlignTrace(b *testing.B) {
+	tr := warmupTrace(b, frame.Mount{Yaw: 0.4, Pitch: 0.1}, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// AlignTrace mutates; work on a copy of records.
+		cp := &Trace{DT: tr.DT, Records: append([]Record(nil), tr.Records...), Truth: tr.Truth}
+		if _, err := AlignTrace(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

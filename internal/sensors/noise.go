@@ -1,0 +1,50 @@
+// Package sensors models the smartphone (and CAN-bus) sensors the system
+// reads: accelerometer, gyroscope, barometer, GPS, speedometer and CAN wheel
+// speed. Every sensor carries the two noise classes the paper names —
+// measuring noise (white, per-sample) and drift noise (a slowly wandering
+// bias) — plus sensor-specific artifacts (GPS dropouts, CAN quantization).
+package sensors
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NoiseModel is additive sensor corruption: white measuring noise with
+// standard deviation Sigma plus a bias random walk ("drift noise") whose
+// increments have standard deviation DriftRate·√dt per step.
+type NoiseModel struct {
+	// Sigma is the white measuring-noise standard deviation.
+	Sigma float64
+	// DriftRate is the bias random-walk intensity (units/√s).
+	DriftRate float64
+	// InitialBiasSigma draws the starting bias (calibration error).
+	InitialBiasSigma float64
+}
+
+// noiseState carries the evolving bias of one sensor instance.
+type noiseState struct {
+	model NoiseModel
+	bias  float64
+}
+
+func newNoiseState(m NoiseModel, rng *rand.Rand) *noiseState {
+	return &noiseState{model: m, bias: rng.NormFloat64() * m.InitialBiasSigma}
+}
+
+// corrupt advances the drift by dt and returns truth + bias + white noise.
+func (n *noiseState) corrupt(truth, dt float64, rng *rand.Rand) float64 {
+	if n.model.DriftRate > 0 {
+		n.bias += rng.NormFloat64() * n.model.DriftRate * math.Sqrt(dt)
+	}
+	return truth + n.bias + rng.NormFloat64()*n.model.Sigma
+}
+
+// Quantize rounds v to the nearest multiple of step; step <= 0 is identity.
+// CAN-bus wheel speed is reported in 0.1 km/h increments.
+func Quantize(v, step float64) float64 {
+	if step <= 0 {
+		return v
+	}
+	return math.Round(v/step) * step
+}

@@ -1,0 +1,354 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negatives", []float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); got != tt.want {
+				t.Errorf("Mean = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 = 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(want)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Min(nil) should return ErrEmpty")
+	}
+	if _, err := Max(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Max(nil) should return ErrEmpty")
+	}
+	xs := []float64{3, -1, 4, 1}
+	if got, _ := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got, _ := Max(xs); got != 4 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should error")
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("Percentile(nil) should return ErrEmpty")
+	}
+	if got, _ := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile single = %v", got)
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	est := []float64{1, 2, 3}
+	truth := []float64{1, 1, 5}
+	mae, err := MAE(est, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (0 + 1 + 2) / 3.0; math.Abs(mae-want) > 1e-12 {
+		t.Errorf("MAE = %v, want %v", mae, want)
+	}
+	rmse, _ := RMSE(est, truth)
+	if want := math.Sqrt((0 + 1 + 4) / 3.0); math.Abs(rmse-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", rmse, want)
+	}
+	mre, _ := MRE(est, truth)
+	if want := 3.0 / 7.0; math.Abs(mre-want) > 1e-12 {
+		t.Errorf("MRE = %v, want %v", mre, want)
+	}
+	if _, err := MRE(est, []float64{0, 0, 0}); err == nil {
+		t.Error("MRE with zero truth should error")
+	}
+	if _, err := MAE(est, []float64{1}); err == nil {
+		t.Error("MAE length mismatch should error")
+	}
+	abs, _ := AbsErrors(est, truth)
+	if abs[2] != 2 {
+		t.Errorf("AbsErrors = %v", abs)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if q, _ := c.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", q)
+	}
+	if q, _ := c.Quantile(1); q != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", q)
+	}
+	if _, err := c.Quantile(0); err == nil {
+		t.Error("Quantile(0) should error")
+	}
+	if _, err := NewCDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("NewCDF(nil) should return ErrEmpty")
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c, _ := NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	pts := c.Points(11)
+	if len(pts) != 11 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 9 {
+		t.Errorf("Points range [%v, %v]", pts[0].X, pts[len(pts)-1].X)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatalf("CDF points not monotone at %d", i)
+		}
+	}
+	if got := c.Points(1); len(got) != 2 {
+		t.Errorf("Points(1) len = %d, want clamped to 2", len(got))
+	}
+}
+
+// Property: CDF is monotone nondecreasing and bounded in [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		probe := make([]float64, 20)
+		for i := range probe {
+			probe[i] = r.NormFloat64() * 20
+		}
+		sort.Float64s(probe)
+		prev := 0.0
+		for _, x := range probe {
+			y := c.At(x)
+			if y < prev || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and At are near-inverse: At(Quantile(q)) >= q.
+func TestQuantileInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+		}
+		c, err := NewCDF(xs)
+		if err != nil {
+			return false
+		}
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 1} {
+			v, err := c.Quantile(q)
+			if err != nil {
+				return false
+			}
+			if c.At(v) < q-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0.1, 0.9, 1.5, 2.5, -5, 99}, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets: [0,1): 0.1, 0.9, -5(clamped) => 3; [1,2): 1.5 => 1; [2,3]: 2.5, 99(clamped) => 2.
+	want := []int{3, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if got := h.Fraction(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+	if _, err := NewHistogram(nil, 0, 1, 2); !errors.Is(err, ErrEmpty) {
+		t.Error("NewHistogram(nil) should return ErrEmpty")
+	}
+	if _, err := NewHistogram([]float64{1}, 1, 0, 2); err == nil {
+		t.Error("invalid range should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Summarize(nil) should return ErrEmpty")
+	}
+}
+
+func BenchmarkCDFAt(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	c, _ := NewCDF(xs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.At(0.5)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 500)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		o.Add(xs[i])
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("N = %d", o.N())
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("online var %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	if math.Abs(o.StdDev()-StdDev(xs)) > 1e-9 {
+		t.Errorf("online sd %v vs batch %v", o.StdDev(), StdDev(xs))
+	}
+}
+
+func TestOnlineEdgeCases(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	o.Add(5)
+	if o.Mean() != 5 || o.Variance() != 0 {
+		t.Errorf("single sample: mean %v var %v", o.Mean(), o.Variance())
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	var a, b, all Online
+	for i := 0; i < 300; i++ {
+		x := rng.ExpFloat64()
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("merged var %v vs %v", a.Variance(), all.Variance())
+	}
+	// Merging into empty adopts the other side.
+	var empty Online
+	empty.Merge(all)
+	if empty.N() != all.N() || empty.Mean() != all.Mean() {
+		t.Error("merge into empty wrong")
+	}
+	// Merging empty is a no-op.
+	before := all
+	all.Merge(Online{})
+	if all != before {
+		t.Error("merge of empty changed state")
+	}
+}

@@ -1,0 +1,158 @@
+package vehicle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// WLaneM is the average lane-change horizontal displacement the paper cites
+// from [15]: 3.65 m.
+const WLaneM = 3.65
+
+// DriverProfile captures a driver's behaviour: target-speed tracking and
+// lane-change steering style. The steering parameters (SteerPeakRad and the
+// asymmetry) generate the per-driver bump features of Table I.
+type DriverProfile struct {
+	// Name identifies the driver in experiment output.
+	Name string
+	// TargetSpeedMS is the cruising speed the driver tracks.
+	TargetSpeedMS float64
+	// SpeedGain is the proportional speed-tracking gain (1/s).
+	SpeedGain float64
+	// MaxAccelMS2 / MaxDecelMS2 bound the commanded acceleration (decel
+	// positive magnitude).
+	MaxAccelMS2 float64
+	MaxDecelMS2 float64
+	// SpeedWobbleMS and SpeedWobblePeriodS add a smooth sinusoidal target
+	// variation so the trace has realistic accelerations.
+	SpeedWobbleMS      float64
+	SpeedWobblePeriodS float64
+	// SteerPeakRad is the peak steering rate δ (rad/s) of the first bump of
+	// a lane change.
+	SteerPeakRad float64
+	// SteerAsym scales the second bump's peak relative to the first
+	// (second = SteerAsym * first); duration compensates so heading
+	// returns to the road direction.
+	SteerAsym float64
+	// LaneChangeDisplacementM is the lateral displacement of one lane
+	// change (defaults to WLaneM).
+	LaneChangeDisplacementM float64
+	// LaneChangesPerKm is the expected lane-change rate on multi-lane
+	// sections; the paper cites 0.36/mile ≈ 0.22/km averaged over all
+	// roads, with urban rates much higher.
+	LaneChangesPerKm float64
+	// SteerJitterRad is the standard deviation of the in-lane heading
+	// wander (an Ornstein-Uhlenbeck process): imperfect lane keeping that
+	// puts low-level noise on the gyroscope between maneuvers. Zero (the
+	// default) disables wander; ~0.004 rad is a calm human driver.
+	SteerJitterRad float64
+}
+
+// DefaultDriver returns a nominal driver at the given cruise speed.
+func DefaultDriver(targetSpeedMS float64) DriverProfile {
+	return DriverProfile{
+		Name:                    "default",
+		TargetSpeedMS:           targetSpeedMS,
+		SpeedGain:               0.35,
+		MaxAccelMS2:             2.0,
+		MaxDecelMS2:             2.5,
+		SpeedWobbleMS:           1.2,
+		SpeedWobblePeriodS:      37,
+		SteerPeakRad:            0.14,
+		SteerAsym:               1.0,
+		LaneChangeDisplacementM: WLaneM,
+		LaneChangesPerKm:        0.8,
+	}
+}
+
+// Validate reports whether the profile is usable.
+func (d DriverProfile) Validate() error {
+	switch {
+	case d.TargetSpeedMS <= 0:
+		return fmt.Errorf("vehicle: driver target speed %v must be positive", d.TargetSpeedMS)
+	case d.SpeedGain <= 0:
+		return fmt.Errorf("vehicle: driver speed gain %v must be positive", d.SpeedGain)
+	case d.MaxAccelMS2 <= 0 || d.MaxDecelMS2 <= 0:
+		return fmt.Errorf("vehicle: driver accel bounds (%v, %v) must be positive", d.MaxAccelMS2, d.MaxDecelMS2)
+	case d.SteerPeakRad <= 0:
+		return fmt.Errorf("vehicle: driver steer peak %v must be positive", d.SteerPeakRad)
+	case d.SteerAsym <= 0:
+		return fmt.Errorf("vehicle: driver steer asymmetry %v must be positive", d.SteerAsym)
+	case d.LaneChangesPerKm < 0:
+		return fmt.Errorf("vehicle: lane change rate %v must be non-negative", d.LaneChangesPerKm)
+	}
+	return nil
+}
+
+func (d DriverProfile) displacement() float64 {
+	if d.LaneChangeDisplacementM > 0 {
+		return d.LaneChangeDisplacementM
+	}
+	return WLaneM
+}
+
+// StudyDrivers returns the ten simulated driver profiles used to calibrate
+// the Table I bump features, spanning the 15-65 km/h speed range and a
+// spread of steering aggressiveness, mirroring the paper's ten-driver
+// steering study.
+func StudyDrivers(rng *rand.Rand) []DriverProfile {
+	drivers := make([]DriverProfile, 0, 10)
+	for i := 0; i < 10; i++ {
+		speedKmh := 15 + rng.Float64()*50
+		d := DefaultDriver(speedKmh / 3.6)
+		d.Name = fmt.Sprintf("driver-%02d", i+1)
+		// Peak steering rates spread around the paper's 0.117-0.172 rad/s.
+		d.SteerPeakRad = 0.12 + rng.Float64()*0.06
+		d.SteerAsym = 0.8 + rng.Float64()*0.45
+		d.LaneChangeDisplacementM = WLaneM * (0.94 + rng.Float64()*0.12)
+		drivers = append(drivers, d)
+	}
+	return drivers
+}
+
+// laneChangePlan is one lane-change maneuver: two opposite steering-rate
+// bumps (first with peak w1 lasting t1, second with peak w2 lasting t2)
+// chosen so the heading deviation returns to zero and the lateral
+// displacement equals the requested width.
+//
+// Phase 1 (t in [0, t1)):      w(t) = dir * w1 * sin(π t / t1)
+// Phase 2 (t in [t1, t1+t2)):  w(t) = -dir * w2 * sin(π (t-t1) / t2)
+//
+// Heading restore requires w1*t1 = w2*t2; the lateral displacement is
+// y = v * w1 * t1 * (t1 + t2) / π (small-angle), which fixes t1 for a
+// given speed.
+type laneChangePlan struct {
+	dir    int // +1 left, -1 right
+	w1, w2 float64
+	t1, t2 float64
+}
+
+// planLaneChange solves the maneuver timing for a driver at speed v.
+func planLaneChange(d DriverProfile, v float64, dir int) laneChangePlan {
+	w1 := d.SteerPeakRad
+	w2 := d.SteerPeakRad * d.SteerAsym
+	k := w1 / w2 // t2 = k * t1 restores heading
+	width := d.displacement()
+	// width = v*w1*t1*(t1+t2)/π = v*w1*t1²(1+k)/π
+	t1 := math.Sqrt(width * math.Pi / (v * w1 * (1 + k)))
+	return laneChangePlan{dir: dir, w1: w1, w2: w2, t1: t1, t2: k * t1}
+}
+
+// duration returns the total maneuver time T'.
+func (p laneChangePlan) duration() float64 { return p.t1 + p.t2 }
+
+// steerRateAt returns the commanded steering rate at maneuver-relative time t.
+func (p laneChangePlan) steerRateAt(t float64) float64 {
+	sign := float64(p.dir)
+	switch {
+	case t < 0:
+		return 0
+	case t < p.t1:
+		return sign * p.w1 * math.Sin(math.Pi*t/p.t1)
+	case t < p.t1+p.t2:
+		return -sign * p.w2 * math.Sin(math.Pi*(t-p.t1)/p.t2)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,108 @@
+// Package vehicle simulates the driving vehicle the smartphone rides in:
+// longitudinal dynamics (the forward form of the paper's Eq. (3)), a driver
+// model with target-speed tracking and stochastic lane changes, and trip
+// simulation producing ground-truth state traces for the sensor models.
+package vehicle
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gravity is the gravitational constant g (m/s²).
+const Gravity = 9.81
+
+// Params are the physical vehicle parameters of the paper's Eq. (3). The
+// defaults approximate the Nissan Altima 2006 used in the experiments and
+// the 1479 kg average passenger car of Table II.
+type Params struct {
+	MassKg        float64 // m, gross weight
+	FrontalAreaM2 float64 // A_f
+	DragCoeff     float64 // C_d
+	AirDensity    float64 // ρ (kg/m³)
+	WheelRadiusM  float64 // r
+	RollResist    float64 // μ, rolling resistance coefficient
+}
+
+// DefaultParams returns the evaluation vehicle parameters.
+func DefaultParams() Params {
+	return Params{
+		MassKg:        1479,
+		FrontalAreaM2: 2.25,
+		DragCoeff:     0.32,
+		AirDensity:    1.225,
+		WheelRadiusM:  0.31,
+		RollResist:    0.012,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.MassKg <= 0:
+		return fmt.Errorf("vehicle: mass %v must be positive", p.MassKg)
+	case p.FrontalAreaM2 <= 0:
+		return fmt.Errorf("vehicle: frontal area %v must be positive", p.FrontalAreaM2)
+	case p.DragCoeff <= 0:
+		return fmt.Errorf("vehicle: drag coefficient %v must be positive", p.DragCoeff)
+	case p.AirDensity <= 0:
+		return fmt.Errorf("vehicle: air density %v must be positive", p.AirDensity)
+	case p.WheelRadiusM <= 0:
+		return fmt.Errorf("vehicle: wheel radius %v must be positive", p.WheelRadiusM)
+	case p.RollResist < 0:
+		return fmt.Errorf("vehicle: rolling resistance %v must be non-negative", p.RollResist)
+	}
+	return nil
+}
+
+// Beta returns β = arcsin(μ/√(1+μ²)), the rolling-resistance angle constant
+// of Eq. (3).
+func (p Params) Beta() float64 {
+	return math.Asin(p.RollResist / math.Sqrt(1+p.RollResist*p.RollResist))
+}
+
+// DragForce returns the aerodynamic drag force ½ρ·A_f·C_d·v² (N).
+func (p Params) DragForce(v float64) float64 {
+	return 0.5 * p.AirDensity * p.FrontalAreaM2 * p.DragCoeff * v * v
+}
+
+// DriveTorque returns the wheel torque M (N·m) needed to hold acceleration a
+// at speed v on grade θ — the inverse of Eq. (3):
+//
+//	M = r (m·a + m·g·sin(θ+β)·√(1+μ²) ≈ r (m·a + m·g·sinθ + μ·m·g·cosθ + drag)
+//
+// We use the exact force balance rather than the paper's small-angle β
+// shortcut; the two agree to <0.1% for road-scale μ.
+func (p Params) DriveTorque(v, a, grade float64) float64 {
+	force := p.MassKg*a +
+		p.MassKg*Gravity*math.Sin(grade) +
+		p.RollResist*p.MassKg*Gravity*math.Cos(grade) +
+		p.DragForce(v)
+	return force * p.WheelRadiusM
+}
+
+// GradeFromStates evaluates the paper's Eq. (3):
+//
+//	θ = arcsin(M/(r·m·g) − ρ·A_f·C_d·v²/(2·m·g) − a/g) − β
+//
+// returning the road gradient implied by torque M, speed v and
+// acceleration a. The arcsin argument is clamped to [-1, 1].
+func (p Params) GradeFromStates(torque, v, a float64) float64 {
+	mg := p.MassKg * Gravity
+	arg := torque/(p.WheelRadiusM*mg) - p.DragForce(v)/mg - a/Gravity
+	if arg > 1 {
+		arg = 1
+	} else if arg < -1 {
+		arg = -1
+	}
+	return math.Asin(arg) - p.Beta()
+}
+
+// GradeDrift evaluates the paper's Eq. (4), the road-gradient process model
+// used by the EKF:
+//
+//	θ̇ = ρ·A_f·C_d·v·a / (m·g·cosθ)
+func (p Params) GradeDrift(v, a, grade float64) float64 {
+	return p.AirDensity * p.FrontalAreaM2 * p.DragCoeff * v * a /
+		(p.MassKg * Gravity * math.Cos(grade))
+}

@@ -1,0 +1,66 @@
+package vehicle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadgrade/internal/road"
+)
+
+func TestPlannedStops(t *testing.T) {
+	r, err := road.StraightRoad("stops", 1500, road.Deg(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trip, err := SimulateTrip(TripConfig{
+		Road:          r,
+		Driver:        DefaultDriver(13),
+		Rng:           rand.New(rand.NewSource(1)),
+		StopAtS:       []float64{400, 900},
+		StopDurationS: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The vehicle must come to rest near each stop position.
+	for _, stopS := range []float64{400, 900} {
+		var stoppedNear bool
+		for _, st := range trip.States {
+			if st.Speed < 0.05 && math.Abs(st.S-stopS) < 20 {
+				stoppedNear = true
+				break
+			}
+		}
+		if !stoppedNear {
+			t.Errorf("vehicle never stopped near s=%v", stopS)
+		}
+	}
+	// And it still finishes the route.
+	if last := trip.States[len(trip.States)-1]; last.S < 1500 {
+		t.Errorf("trip ended at %v", last.S)
+	}
+	// Each stop dwells for roughly the configured duration.
+	var zeroTime float64
+	for _, st := range trip.States {
+		if st.Speed < 0.05 {
+			zeroTime += trip.DT
+		}
+	}
+	if zeroTime < 8 || zeroTime > 30 {
+		t.Errorf("total stopped time %v s, want ~2 stops x 5 s + braking tails", zeroTime)
+	}
+}
+
+func TestStopAtSValidation(t *testing.T) {
+	r, _ := road.StraightRoad("x", 500, 0, 1)
+	_, err := SimulateTrip(TripConfig{
+		Road:    r,
+		Driver:  DefaultDriver(10),
+		Rng:     rand.New(rand.NewSource(1)),
+		StopAtS: []float64{300, 200},
+	})
+	if err == nil {
+		t.Error("non-ascending stops should error")
+	}
+}
