@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"roadgrade/internal/experiment"
@@ -28,17 +30,43 @@ func main() {
 
 func run() error {
 	var (
-		expName = flag.String("exp", "all", "experiment ID or 'all'")
-		seed    = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-		quick   = flag.Bool("quick", false, "use shrunken workloads")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		format  = flag.String("format", "text", "output format: text | json")
+		expName    = flag.String("exp", "all", "experiment ID or 'all'")
+		seed       = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		quick      = flag.Bool("quick", false, "use shrunken workloads")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		format     = flag.String("format", "text", "output format: text | json")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiment.Names(), "\n"))
 		return nil
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating CPU profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("creating heap profile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gradebench: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want text | json)", *format)

@@ -130,10 +130,9 @@ func AltitudeEKF(trace *sensors.Trace, s []float64, cfg AltEKFConfig) (*Result, 
 		if _, err := f.Update([]float64{rec.Speedometer, rec.BaroAlt}); err != nil {
 			return nil, fmt.Errorf("baseline: altitude EKF update at t=%.2f: %w", rec.T, err)
 		}
-		x := f.State()
 		res.T = append(res.T, rec.T)
 		res.S = append(res.S, s[i])
-		res.GradeRad = append(res.GradeRad, x[2])
+		res.GradeRad = append(res.GradeRad, f.StateAt(2))
 	}
 	return res, nil
 }

@@ -59,8 +59,9 @@ func TestGradeModelJacobianMatchesFiniteDifference(t *testing.T) {
 		xm := mat.CloneVec(x)
 		xp[j] += h
 		xm[j] -= h
-		fp := km.Predict(xp)
-		fm := km.Predict(xm)
+		// Clone: the model may reuse its output buffer across Predict calls.
+		fp := mat.CloneVec(km.Predict(xp))
+		fm := mat.CloneVec(km.Predict(xm))
 		for i := 0; i < 2; i++ {
 			fd := (fp[i] - fm[i]) / (2 * h)
 			if math.Abs(fd-jac.At(i, j)) > 1e-5 {

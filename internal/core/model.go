@@ -34,8 +34,17 @@ type GradeModel struct {
 	Accel float64
 }
 
-// kalmanModel adapts GradeModel to the generic EKF interface.
+// kalmanModel adapts GradeModel to the generic EKF interface. The closures
+// reuse one output buffer per function, as the kalman.Model contract allows —
+// the filter runs one predict/update pair per sensor tick, and these
+// allocations dominated its heap profile. All inputs are read into locals
+// before the shared buffer is written, so aliasing x with a previous output
+// is safe.
 func (g *GradeModel) kalmanModel() kalman.Model {
+	predictOut := make([]float64, 2)
+	fj := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	measureOut := make([]float64, 1)
+	hj := mat.FromRows([][]float64{{1, 0}})
 	return kalman.Model{
 		StateDim: 2,
 		MeasDim:  1,
@@ -43,22 +52,26 @@ func (g *GradeModel) kalmanModel() kalman.Model {
 			v, theta := x[0], clampGrade(x[1])
 			vNext := v + (g.Accel-vehicle.Gravity*math.Sin(theta))*g.DT
 			thetaNext := theta + g.Params.GradeDrift(v, g.Accel, theta)*g.DT
-			return []float64{math.Max(0, vNext), clampGrade(thetaNext)}
+			predictOut[0] = math.Max(0, vNext)
+			predictOut[1] = clampGrade(thetaNext)
+			return predictOut
 		},
 		PredictJacobian: func(x []float64) *mat.Matrix {
 			v, theta := x[0], clampGrade(x[1])
 			cos := math.Cos(theta)
 			k := g.Params.AirDensity * g.Params.FrontalAreaM2 * g.Params.DragCoeff /
 				(g.Params.MassKg * vehicle.Gravity)
-			return mat.FromRows([][]float64{
-				{1, -vehicle.Gravity * cos * g.DT},
-				{k * g.Accel * g.DT / cos, 1 + k*v*g.Accel*g.DT*math.Sin(theta)/(cos*cos)},
-			})
+			fj.Set(0, 0, 1)
+			fj.Set(0, 1, -vehicle.Gravity*cos*g.DT)
+			fj.Set(1, 0, k*g.Accel*g.DT/cos)
+			fj.Set(1, 1, 1+k*v*g.Accel*g.DT*math.Sin(theta)/(cos*cos))
+			return fj
 		},
-		Measure: func(x []float64) []float64 { return []float64{x[0]} },
-		MeasureJacobian: func(x []float64) *mat.Matrix {
-			return mat.FromRows([][]float64{{1, 0}})
+		Measure: func(x []float64) []float64 {
+			measureOut[0] = x[0]
+			return measureOut
 		},
+		MeasureJacobian: func(x []float64) *mat.Matrix { return hj },
 	}
 }
 

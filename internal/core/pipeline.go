@@ -179,12 +179,13 @@ func localize(trace *sensors.Trace, line *geo.Polyline) []float64 {
 		maxSnapM   = 60  // ignore fixes matching implausibly far away
 		maxOffRoad = 25  // ignore fixes far off the road geometry
 	)
+	idx := line.Index()
 	out := make([]float64, len(trace.Records))
 	var s float64
 	for i, rec := range trace.Records {
 		s += rec.Speedometer * trace.DT
 		if rec.GPSValid {
-			sGPS, dist := line.ClosestS(geo.ENU{E: rec.GPSE, N: rec.GPSN})
+			sGPS, dist := idx.ClosestS(geo.ENU{E: rec.GPSE, N: rec.GPSN})
 			if dist < maxOffRoad && math.Abs(sGPS-s) < maxSnapM {
 				s += blendGain * (sGPS - s)
 			}
@@ -225,13 +226,32 @@ func (p *Pipeline) EstimateTrack(trace *sensors.Trace, adj *Adjusted, src sensor
 	if sigma <= 0 {
 		sigma = sourceNoise(src)
 	}
-	fwd, err := p.runPass(trace, vels, corrected, sigma, false)
+	// One model + filter serves both sweep directions: the backward pass
+	// resets the state/covariance and flips the model's Δt, reusing the
+	// filter's scratch buffers instead of rebuilding everything.
+	dt := trace.DT
+	model := &GradeModel{Params: p.cfg.Params, DT: dt}
+	q := mat.Diag(
+		p.cfg.ProcessNoiseV*p.cfg.ProcessNoiseV*dt,
+		p.cfg.ProcessNoiseTheta*p.cfg.ProcessNoiseTheta*dt,
+	)
+	r := mat.Diag(sigma * sigma)
+	p0 := mat.Diag(1, p.cfg.InitialGradeVar)
+	f, err := kalman.NewFilter(model.kalmanModel(), []float64{firstValid(vels), 0}, p0, q, r)
+	if err != nil {
+		return nil, fmt.Errorf("core: building filter: %w", err)
+	}
+	fwd, err := p.runPass(trace, vels, corrected, sigma, false, model, f)
 	if err != nil {
 		return nil, err
 	}
 	grade, vari := fwd.grade, fwd.vari
 	if !p.cfg.DisableTwoPass {
-		bwd, err := p.runPass(trace, vels, corrected, sigma, true)
+		model.DT = -dt
+		if err := f.Reset([]float64{lastValid(vels), 0}, p0); err != nil {
+			return nil, fmt.Errorf("core: resetting filter: %w", err)
+		}
+		bwd, err := p.runPass(trace, vels, corrected, sigma, true, model, f)
 		if err != nil {
 			return nil, err
 		}
@@ -276,33 +296,14 @@ type passResult struct {
 }
 
 // runPass sweeps the EKF over the trace forward (reverse=false) or backward
-// in time (reverse=true; the state equation integrates with -Δt).
-func (p *Pipeline) runPass(trace *sensors.Trace, vels []sensors.VelSample, corrected []float64, sigma float64, reverse bool) (passResult, error) {
-	dt := trace.DT
-	modelDT := dt
-	if reverse {
-		modelDT = -dt
-	}
-	model := &GradeModel{Params: p.cfg.Params, DT: modelDT}
-	q := mat.Diag(
-		p.cfg.ProcessNoiseV*p.cfg.ProcessNoiseV*dt,
-		p.cfg.ProcessNoiseTheta*p.cfg.ProcessNoiseTheta*dt,
-	)
-	r := mat.Diag(sigma * sigma)
+// in time (reverse=true; the caller flips the model's Δt and resets the
+// filter state between directions).
+func (p *Pipeline) runPass(trace *sensors.Trace, vels []sensors.VelSample, corrected []float64, sigma float64, reverse bool, model *GradeModel, f *kalman.Filter) (passResult, error) {
 	n := len(trace.Records)
-	// Initialize v from the nearest valid measurement, θ from zero.
-	v0 := firstValid(vels)
-	if reverse {
-		v0 = lastValid(vels)
-	}
-	f, err := kalman.NewFilter(model.kalmanModel(), []float64{v0, 0},
-		mat.Diag(1, p.cfg.InitialGradeVar), q, r)
-	if err != nil {
-		return passResult{}, fmt.Errorf("core: building filter: %w", err)
-	}
 	res := passResult{grade: make([]float64, n), vari: make([]float64, n)}
 	var nisSum float64
 	var nisN int
+	z := make([]float64, 1)
 	for step := 0; step < n; step++ {
 		i := step
 		if reverse {
@@ -312,18 +313,17 @@ func (p *Pipeline) runPass(trace *sensors.Trace, vels []sensors.VelSample, corre
 		model.Accel = rec.AccelLong
 		f.Predict()
 		if vels[i].Valid {
-			priorVar := f.Covariance().At(0, 0)
-			innov, err := f.Update([]float64{corrected[i]})
+			priorVar := f.CovarianceAt(0, 0)
+			z[0] = corrected[i]
+			innov, err := f.Update(z)
 			if err != nil {
 				return passResult{}, fmt.Errorf("core: EKF update at t=%.2f: %w", rec.T, err)
 			}
 			nisSum += innov[0] * innov[0] / (priorVar + sigma*sigma)
 			nisN++
 		}
-		x := f.State()
-		cov := f.Covariance()
-		res.grade[i] = x[1]
-		res.vari[i] = math.Max(1e-12, cov.At(1, 1))
+		res.grade[i] = f.StateAt(1)
+		res.vari[i] = math.Max(1e-12, f.CovarianceAt(1, 1))
 	}
 	if nisN > 0 {
 		res.nis = nisSum / float64(nisN)

@@ -23,11 +23,13 @@ type Streaming struct {
 	cfg    Config
 	source sensors.VelocitySource
 	line   *geo.Polyline
+	idx    *geo.IndexedPolyline
 	steer  *frame.SteeringEstimator
 	model  *GradeModel
 	filter *kalman.Filter
 	dt     float64
 	sigma  float64
+	z      [1]float64 // measurement scratch
 
 	started bool
 	s       float64 // localized arc position
@@ -71,6 +73,7 @@ func NewStreaming(cfg Config, line *geo.Polyline, src sensors.VelocitySource, dt
 		cfg:    cfg,
 		source: src,
 		line:   line,
+		idx:    line.Index(),
 		steer:  est,
 		dt:     dt,
 		sigma:  sigma,
@@ -109,7 +112,7 @@ func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
 	// Localize: odometer integration snapped to map-matched GPS fixes.
 	st.s += rec.Speedometer * st.dt
 	if rec.GPSValid {
-		sGPS, dist := st.line.ClosestS(geo.ENU{E: rec.GPSE, N: rec.GPSN})
+		sGPS, dist := st.idx.ClosestS(geo.ENU{E: rec.GPSE, N: rec.GPSN})
 		if dist < 25 && math.Abs(sGPS-st.s) < 60 {
 			st.s += 0.3 * (sGPS - st.s)
 		}
@@ -118,19 +121,18 @@ func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
 	st.model.Accel = rec.AccelLong
 	st.filter.Predict()
 	if valid {
-		if _, err := st.filter.Update([]float64{v}); err != nil {
+		st.z[0] = v
+		if _, err := st.filter.Update(st.z[:]); err != nil {
 			return Estimate{}, fmt.Errorf("core: streaming update at t=%.2f: %w", rec.T, err)
 		}
 	}
 	st.t = rec.T
-	x := st.filter.State()
-	cov := st.filter.Covariance()
 	return Estimate{
 		T:         rec.T,
 		S:         st.s,
-		SpeedMS:   x[0],
-		GradeRad:  x[1],
-		GradeVar:  cov.At(1, 1),
+		SpeedMS:   st.filter.StateAt(0),
+		GradeRad:  st.filter.StateAt(1),
+		GradeVar:  st.filter.CovarianceAt(1, 1),
 		SteerRate: rec.GyroYaw - st.steer.RoadRateAt(st.s, math.Max(rec.Speedometer, 0.1)),
 	}, nil
 }

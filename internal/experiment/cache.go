@@ -1,0 +1,62 @@
+package experiment
+
+import "sync"
+
+// The experiment suite re-derives the same expensive build products over and
+// over: All() runs every registered experiment, and nearly each one starts by
+// calibrating the driver study, simulating the red-route drive, training the
+// ANN baseline, or generating (and driving) the city network from the same
+// seed. Those builders are pure functions of their explicit seeds — every
+// random stream is a fresh rand.New(rand.NewSource(seed)) — so their outputs
+// are memoized here and shared across experiments.
+//
+// Cached values are shared pointers, so everything stored MUST be treated as
+// read-only by consumers; experiments that mutate a workload (e.g. sensor
+// realignment) build their own through the uncached paths.
+
+// cacheKey identifies one deterministic build product. kind names the
+// builder; seed/quick/km mirror every input that changes the output (km
+// distinguishes the differently sized networks the fuel, journey and routing
+// experiments generate from the same seed).
+type cacheKey struct {
+	kind  string
+	seed  int64
+	quick bool
+	km    float64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+var buildCache = struct {
+	mu sync.Mutex
+	m  map[cacheKey]*cacheEntry
+}{m: map[cacheKey]*cacheEntry{}}
+
+// cached memoizes build under key. Concurrent callers of the same key block
+// on one build (per-entry sync.Once); distinct keys build independently.
+func cached[V any](key cacheKey, build func() (V, error)) (V, error) {
+	buildCache.mu.Lock()
+	e, ok := buildCache.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		buildCache.m[key] = e
+	}
+	buildCache.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	if e.err != nil {
+		var zero V
+		return zero, e.err
+	}
+	return e.val.(V), nil
+}
+
+// resetCache drops every memoized product (test isolation).
+func resetCache() {
+	buildCache.mu.Lock()
+	buildCache.m = map[cacheKey]*cacheEntry{}
+	buildCache.mu.Unlock()
+}

@@ -1,0 +1,212 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCachedColdVsWarmIdentical runs a cache-heavy subset of experiments
+// twice — once against a cold cache, once warm — and requires byte-identical
+// tables: memoization must not change any result.
+func TestCachedColdVsWarmIdentical(t *testing.T) {
+	opt := Options{Seed: 1, Quick: true}
+	ids := []string{"fig9a", "fig9b", "fig10a", "fig10b", "uplift", "headline"}
+	run := func() []byte {
+		var tables []Table
+		for _, id := range ids {
+			tb, err := Run(id, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			tables = append(tables, tb)
+		}
+		b, err := json.Marshal(tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	resetCache()
+	cold := run()
+	warm := run() // second pass hits every memoized builder
+	if string(cold) != string(warm) {
+		t.Fatal("warm-cache run differs from cold-cache run")
+	}
+	resetCache()
+	cold2 := run()
+	if string(cold) != string(cold2) {
+		t.Fatal("cold-cache runs differ across resets")
+	}
+}
+
+// TestCachedSharesOneBuild checks the memoization actually shares: repeated
+// and concurrent calls with one key build once and return the same pointer,
+// while distinct keys build separately. Run under -race this also exercises
+// the cache's concurrency safety.
+func TestCachedSharesOneBuild(t *testing.T) {
+	resetCache()
+	t.Cleanup(resetCache)
+	var builds atomic.Int32
+	key := cacheKey{kind: "test", seed: 123}
+	build := func() (*CalibrationResult, error) {
+		builds.Add(1)
+		return &CalibrationResult{Drivers: []string{"x"}}, nil
+	}
+	const workers = 16
+	got := make([]*CalibrationResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, err := cached(key, build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[w] = v
+		}(w)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times, want 1", n)
+	}
+	for w := 1; w < workers; w++ {
+		if got[w] != got[0] {
+			t.Fatal("concurrent callers received different instances")
+		}
+	}
+	other, err := cached(cacheKey{kind: "test", seed: 124}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == got[0] {
+		t.Fatal("distinct keys shared one value")
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("distinct key did not build separately")
+	}
+}
+
+// TestCachedMemoizesErrors: a failed build is remembered, not retried.
+func TestCachedMemoizesErrors(t *testing.T) {
+	resetCache()
+	t.Cleanup(resetCache)
+	var builds int
+	boom := errors.New("boom")
+	build := func() (*CalibrationResult, error) {
+		builds++
+		return nil, boom
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cached(cacheKey{kind: "err"}, build); !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failed builder ran %d times, want 1", builds)
+	}
+}
+
+// TestCachedExperimentBuildersShare checks the wired builders return the
+// shared instance on repeat calls — the property the All() speedup rests on.
+func TestCachedExperimentBuildersShare(t *testing.T) {
+	resetCache()
+	t.Cleanup(resetCache)
+	c1, err := CalibrateFromStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CalibrateFromStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("CalibrateFromStudy(1) rebuilt instead of sharing")
+	}
+	c3, err := CalibrateFromStudy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Fatal("different seeds shared one calibration")
+	}
+	if reflect.DeepEqual(c1.Thresholds, c3.Thresholds) {
+		t.Fatal("different seeds produced identical thresholds (suspicious)")
+	}
+
+	opt := Options{Seed: 1, Quick: true}
+	w1, km1, err := networkWorkloads(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, km2, err := networkWorkloads(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) == 0 || &w1[0] != &w2[0] || km1 != km2 {
+		t.Fatal("networkWorkloads rebuilt instead of sharing")
+	}
+
+	n1, err := cachedNetwork(1827, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := cachedNetwork(1827, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatal("cachedNetwork rebuilt for one (seed, km)")
+	}
+	n3, err := cachedNetwork(1827, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3 == n1 {
+		t.Fatal("cachedNetwork shared across different target lengths")
+	}
+}
+
+// TestParallelForStopsDispatchAfterError: once a worker fails, the producer
+// must stop handing out new indices instead of streaming all n through the
+// drain path. With maxExtra = workers indices possibly already queued, the
+// executed count must stay far below n.
+func TestParallelForStopsDispatchAfterError(t *testing.T) {
+	const n = 100000
+	var executed atomic.Int32
+	err := parallelFor(n, func(i int) error {
+		executed.Add(1)
+		return fmt.Errorf("fail at %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := executed.Load(); got > 1000 {
+		t.Fatalf("executed %d indices after first error, dispatch did not stop", got)
+	}
+}
+
+// TestParallelForError checks the first error is returned and successful
+// indices still ran.
+func TestParallelForError(t *testing.T) {
+	var ran atomic.Int32
+	err := parallelFor(50, func(i int) error {
+		ran.Add(1)
+		if i == 10 {
+			return errors.New("index 10 failed")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "index 10 failed" {
+		t.Fatalf("got %v, want index 10 failure", err)
+	}
+	if ran.Load() == 0 {
+		t.Fatal("nothing ran")
+	}
+}

@@ -105,8 +105,15 @@ type workload struct {
 
 // redRouteWorkload simulates the small-scale evaluation drive on the
 // Table III red route, including lane changes, and builds the §III-D
-// reference profile.
+// reference profile. The workload is memoized per seed and shared read-only
+// across experiments.
 func redRouteWorkload(seed int64) (*workload, error) {
+	return cached(cacheKey{kind: "redRoute", seed: seed}, func() (*workload, error) {
+		return buildRedRouteWorkload(seed)
+	})
+}
+
+func buildRedRouteWorkload(seed int64) (*workload, error) {
 	r, err := road.RedRoute()
 	if err != nil {
 		return nil, err
@@ -148,8 +155,16 @@ type CalibrationResult struct {
 // CalibrateFromStudy runs the ten-driver steering study (§III-B1): each
 // driver performs a left and a right lane change at their cruise speed; the
 // measured (gyro-noise-corrupted, then smoothed) steering-rate profiles are
-// reduced to bump features; thresholds are the minima.
+// reduced to bump features; thresholds are the minima. The result is
+// memoized per seed (nearly every experiment calibrates first) and must be
+// treated as read-only.
 func CalibrateFromStudy(seed int64) (*CalibrationResult, error) {
+	return cached(cacheKey{kind: "calibrate", seed: seed}, func() (*CalibrationResult, error) {
+		return calibrateFromStudy(seed)
+	})
+}
+
+func calibrateFromStudy(seed int64) (*CalibrationResult, error) {
 	rng := rand.New(rand.NewSource(seed))
 	drivers := vehicle.StudyDrivers(rng)
 	gyroNoise := sensors.DefaultConfig().Gyro
@@ -222,7 +237,7 @@ func fusedProfile(p *core.Pipeline, w *workload) (*fusion.Profile, []*core.Track
 // profileErrors compares a fused profile against the reference, returning
 // absolute errors in degrees (skipping the first skipM meters).
 func profileErrors(prof *fusion.Profile, ref *groundtruth.Reference, skipM float64) []float64 {
-	var out []float64
+	out := make([]float64, 0, len(prof.S))
 	for i := range prof.S {
 		if prof.S[i] < skipM || prof.S[i] > ref.Length() {
 			continue
@@ -253,7 +268,7 @@ func profileMRE(prof *fusion.Profile, ref *groundtruth.Reference, skipM float64)
 // seriesErrors compares an arbitrary (S, grade) series against the
 // reference, in degrees.
 func seriesErrors(s, grade []float64, ref *groundtruth.Reference, skipM float64) []float64 {
-	var out []float64
+	out := make([]float64, 0, len(s))
 	for i := range s {
 		if s[i] < skipM || s[i] > ref.Length() {
 			continue

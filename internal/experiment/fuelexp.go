@@ -10,6 +10,16 @@ import (
 	"roadgrade/internal/stats"
 )
 
+// cachedNetwork memoizes city-network generation per (seed, target length).
+// The experiments generate differently sized networks from the same base
+// seed (fuel figures, journey, routing), so the length is part of the key.
+// Consumers treat the network as read-only.
+func cachedNetwork(seed int64, targetKM float64) (*road.Network, error) {
+	return cached(cacheKey{kind: "network", seed: seed, km: targetKM}, func() (*road.Network, error) {
+		return road.GenerateNetwork(seed, road.NetworkConfig{TargetStreetKM: targetKM})
+	})
+}
+
 // evalNetwork builds the city network used by the fuel/emission figures.
 func evalNetwork(opt Options) (*road.Network, error) {
 	targetKM := 164.8
@@ -18,7 +28,7 @@ func evalNetwork(opt Options) (*road.Network, error) {
 	}
 	// Default seed 1 reproduces the canonical road.Charlottesville()
 	// stand-in (terrain seed 1827).
-	return road.GenerateNetwork(opt.Seed+1826, road.NetworkConfig{TargetStreetKM: targetKM})
+	return cachedNetwork(opt.Seed+1826, targetKM)
 }
 
 // Figure10a reproduces Figure 10(a): average fuel consumption per hour over

@@ -23,8 +23,16 @@ import (
 const skipM = 100
 
 // trainANNBaseline trains the [8]-style ANN on 4,320 samples collected from
-// terrain-derived training roads disjoint from the evaluation routes.
+// terrain-derived training roads disjoint from the evaluation routes. The
+// trained estimator is memoized per seed; Estimate is stateless, so sharing
+// it (even across parallel workers) is safe.
 func trainANNBaseline(seed int64) (*baseline.ANNEstimator, error) {
+	return cached(cacheKey{kind: "annBaseline", seed: seed}, func() (*baseline.ANNEstimator, error) {
+		return buildANNBaseline(seed)
+	})
+}
+
+func buildANNBaseline(seed int64) (*baseline.ANNEstimator, error) {
 	terrain := road.NewTerrain(seed+17, road.TerrainConfig{})
 	var traces []*sensors.Trace
 	for k := 0; k < 2; k++ {
@@ -216,15 +224,35 @@ func Figure8b(opt Options) (Table, error) {
 }
 
 // networkWorkloads simulates a drive over each edge of a synthetic city
-// network, returning per-edge workloads.
+// network, returning per-edge workloads. Figures 9(a) and 9(b) consume the
+// same drives, so the whole set is memoized per (seed, quick) and shared
+// read-only.
 func networkWorkloads(opt Options) ([]*workload, float64, error) {
+	type result struct {
+		works     []*workload
+		coveredKM float64
+	}
+	res, err := cached(cacheKey{kind: "networkWorkloads", seed: opt.Seed, quick: opt.Quick}, func() (*result, error) {
+		works, km, err := buildNetworkWorkloads(opt)
+		if err != nil {
+			return nil, err
+		}
+		return &result{works: works, coveredKM: km}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.works, res.coveredKM, nil
+}
+
+func buildNetworkWorkloads(opt Options) ([]*workload, float64, error) {
 	targetKM := 164.8
 	if opt.Quick {
 		targetKM = 6
 	}
 	// Default seed 1 reproduces the canonical road.Charlottesville()
 	// stand-in (terrain seed 1827).
-	net, err := road.GenerateNetwork(opt.Seed+1826, road.NetworkConfig{TargetStreetKM: targetKM})
+	net, err := cachedNetwork(opt.Seed+1826, targetKM)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -305,7 +333,11 @@ func Figure9a(opt Options) (Table, error) {
 		return Table{}, err
 	}
 	var num, den float64
-	var allErrs []float64
+	totalCells := 0
+	for _, prof := range profs {
+		totalCells += len(prof.S)
+	}
+	allErrs := make([]float64, 0, totalCells)
 	var gradeBins [5]int // |grade| histogram for the map's color scale
 	for wi, w := range works {
 		prof := profs[wi]
@@ -378,7 +410,15 @@ func Figure9b(opt Options) (Table, error) {
 	}); err != nil {
 		return Table{}, err
 	}
-	var ops, ekf, ann []float64
+	var nOps, nEKF, nANN int
+	for _, run := range runs {
+		nOps += len(run.ops)
+		nEKF += len(run.ekf)
+		nANN += len(run.ann)
+	}
+	ops := make([]float64, 0, nOps)
+	ekf := make([]float64, 0, nEKF)
+	ann := make([]float64, 0, nANN)
 	for _, run := range runs {
 		ops = append(ops, run.ops...)
 		ekf = append(ekf, run.ekf...)

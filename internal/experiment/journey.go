@@ -25,7 +25,7 @@ func Journey(opt Options) (Table, error) {
 	if opt.Quick {
 		targetKM = 10
 	}
-	net, err := road.GenerateNetwork(opt.Seed+1826, road.NetworkConfig{TargetStreetKM: targetKM})
+	net, err := cachedNetwork(opt.Seed+1826, targetKM)
 	if err != nil {
 		return Table{}, err
 	}

@@ -28,6 +28,9 @@ func parallelFor(n int, fn func(i int) error) error {
 		mu       sync.Mutex
 		firstErr error
 	)
+	// done is closed on the first error so the producer stops dispatching
+	// instead of feeding every remaining index through the drain path.
+	done := make(chan struct{})
 	failed := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
@@ -40,20 +43,26 @@ func parallelFor(n int, fn func(i int) error) error {
 			defer wg.Done()
 			for i := range next {
 				if failed() {
-					continue // drain remaining work without running it
+					continue // drain in-flight work without running it
 				}
 				if err := fn(i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
+						close(done)
 					}
 					mu.Unlock()
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch // abort; workers exit once next closes
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -26,7 +26,7 @@ func Routing(opt Options) (Table, error) {
 	if opt.Quick {
 		targetKM = 6
 	}
-	net, err := road.GenerateNetwork(opt.Seed+1826, road.NetworkConfig{TargetStreetKM: targetKM})
+	net, err := cachedNetwork(opt.Seed+1826, targetKM)
 	if err != nil {
 		return Table{}, err
 	}

@@ -19,12 +19,19 @@ import (
 // deliberate — it is why an S-curve leaks paired bumps into w_steer and must
 // be rejected by the horizontal-displacement test (DESIGN.md interpretation
 // choice 2).
+// Queries sweep monotonically along the road, so the estimator carries
+// polyline cursors that make each map-heading evaluation O(1); it is not
+// safe for concurrent use (each trace gets its own estimator).
 type SteeringEstimator struct {
 	// Line is the map geometry of the road being driven.
 	Line *geo.Polyline
 	// HeadingWindowM is the chord length used to evaluate map headings
 	// (default DefaultHeadingWindowM).
 	HeadingWindowM float64
+
+	// hints cache the polyline segment of the previous query for the four
+	// chord endpoints evaluated per tick (s±window and s±window/2).
+	hints [4]int
 }
 
 // DefaultHeadingWindowM is the default map-heading granularity: block scale
@@ -49,13 +56,15 @@ func NewSteeringEstimator(line *geo.Polyline, headingWindowM float64) (*Steering
 }
 
 // mapHeading returns the coarse map heading at arc length s: the direction
-// of the chord spanning the window centred on s.
-func (e *SteeringEstimator) mapHeading(s float64) float64 {
+// of the chord spanning the window centred on s. The hint pointers cache
+// the chord endpoints' polyline segments across calls; nil hints fall back
+// to the plain binary search with identical results.
+func (e *SteeringEstimator) mapHeading(s float64, h0, h1 *int) float64 {
 	h := e.HeadingWindowM / 2
 	s0 := math.Max(0, s-h)
 	s1 := math.Min(e.Line.Length(), s+h)
-	a := e.Line.At(s0)
-	b := e.Line.At(s1)
+	a := e.Line.AtHint(s0, h0)
+	b := e.Line.AtHint(s1, h1)
 	return math.Atan2(b.N-a.N, b.E-a.E)
 }
 
@@ -72,8 +81,8 @@ func (e *SteeringEstimator) RoadRateAt(s, v float64) float64 {
 	if s1-s0 < 1e-9 {
 		return 0
 	}
-	d0 := e.mapHeading(s0)
-	d1 := e.mapHeading(s1)
+	d0 := e.mapHeading(s0, &e.hints[0], &e.hints[1])
+	d1 := e.mapHeading(s1, &e.hints[2], &e.hints[3])
 	return geo.AngleDiff(d0, d1) * v / (s1 - s0)
 }
 

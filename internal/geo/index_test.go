@@ -1,0 +1,147 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomPolyline builds a wandering n-vertex polyline with ~stepM spacing.
+func randomPolyline(rng *rand.Rand, n int, stepM float64) *Polyline {
+	pts := make([]ENU, 0, n)
+	p := ENU{E: rng.Float64() * 100, N: rng.Float64() * 100}
+	heading := rng.Float64() * 2 * math.Pi
+	for i := 0; i < n; i++ {
+		pts = append(pts, p)
+		heading += (rng.Float64() - 0.5) * 0.8
+		d := stepM * (0.5 + rng.Float64())
+		p = ENU{E: p.E + d*math.Cos(heading), N: p.N + d*math.Sin(heading)}
+	}
+	line, err := NewPolyline(pts)
+	if err != nil {
+		panic(err)
+	}
+	return line
+}
+
+// TestIndexedClosestSMatchesBrute is the equivalence property the index is
+// built around: for random polylines and query points — near the line, far
+// from it, and past its ends — the indexed query returns exactly the
+// brute-force answer (bit-for-bit, including tie-breaking).
+func TestIndexedClosestSMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 40 + rng.Intn(400)
+		line := randomPolyline(rng, n, 5+rng.Float64()*20)
+		idx := line.Index()
+		if idx.cells == nil {
+			t.Fatalf("trial %d: index for %d segments fell back to scan", trial, n-1)
+		}
+		pts := line.Points()
+		for q := 0; q < 200; q++ {
+			var query ENU
+			switch q % 3 {
+			case 0: // near the line: a vertex plus GPS-scale noise
+				v := pts[rng.Intn(len(pts))]
+				query = ENU{E: v.E + rng.NormFloat64()*15, N: v.N + rng.NormFloat64()*15}
+			case 1: // far off-road
+				v := pts[rng.Intn(len(pts))]
+				query = ENU{E: v.E + rng.NormFloat64()*2000, N: v.N + rng.NormFloat64()*2000}
+			default: // anywhere in an inflated bounding box
+				query = ENU{
+					E: pts[0].E + (rng.Float64()-0.5)*8000,
+					N: pts[0].N + (rng.Float64()-0.5)*8000,
+				}
+			}
+			wantS, wantD := line.ClosestS(query)
+			gotS, gotD := idx.ClosestS(query)
+			if gotS != wantS || gotD != wantD {
+				t.Fatalf("trial %d query %v: indexed (s=%v d=%v) != brute (s=%v d=%v)",
+					trial, query, gotS, gotD, wantS, wantD)
+			}
+		}
+	}
+}
+
+// TestIndexSmallPolylineFallsBack checks the below-threshold path: short
+// polylines skip grid construction and the indexed query is the exact scan.
+func TestIndexSmallPolylineFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	line := randomPolyline(rng, indexMinSegments-5, 10)
+	idx := line.Index()
+	if idx.cells != nil {
+		t.Fatalf("expected nil cells below %d segments", indexMinSegments)
+	}
+	for q := 0; q < 50; q++ {
+		query := ENU{E: rng.NormFloat64() * 300, N: rng.NormFloat64() * 300}
+		wantS, wantD := line.ClosestS(query)
+		gotS, gotD := idx.ClosestS(query)
+		if gotS != wantS || gotD != wantD {
+			t.Fatalf("fallback mismatch at %v", query)
+		}
+	}
+}
+
+// TestIndexIsCached checks Index() builds once and returns the same value.
+func TestIndexIsCached(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	line := randomPolyline(rng, 100, 10)
+	if line.Index() != line.Index() {
+		t.Fatal("Index() returned different instances")
+	}
+}
+
+// TestAtHintMatchesAt sweeps monotone and random positions through the
+// hinted locator and checks exact agreement with the plain one.
+func TestAtHintMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	line := randomPolyline(rng, 200, 8)
+	hint := 0
+	for s := -10.0; s < line.Length()+10; s += 0.37 {
+		if got, want := line.AtHint(s, &hint), line.At(s); got != want {
+			t.Fatalf("monotone sweep: AtHint(%v)=%v, At=%v", s, got, want)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		s := (rng.Float64()*1.2 - 0.1) * line.Length()
+		if got, want := line.AtHint(s, &hint), line.At(s); got != want {
+			t.Fatalf("random jump: AtHint(%v)=%v, At=%v", s, got, want)
+		}
+		if got, want := line.AtHint(s, nil), line.At(s); got != want {
+			t.Fatalf("nil hint: AtHint(%v)=%v, At=%v", s, got, want)
+		}
+	}
+}
+
+// benchQueries builds GPS-fix-like queries scattered along the line.
+func benchQueries(line *Polyline, n int) []ENU {
+	rng := rand.New(rand.NewSource(3))
+	pts := line.Points()
+	out := make([]ENU, n)
+	for i := range out {
+		v := pts[rng.Intn(len(pts))]
+		out[i] = ENU{E: v.E + rng.NormFloat64()*10, N: v.N + rng.NormFloat64()*10}
+	}
+	return out
+}
+
+func BenchmarkClosestSBrute(b *testing.B) {
+	line := randomPolyline(rand.New(rand.NewSource(2)), 2000, 10)
+	queries := benchQueries(line, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		line.ClosestS(q)
+	}
+}
+
+func BenchmarkClosestSIndexed(b *testing.B) {
+	line := randomPolyline(rand.New(rand.NewSource(2)), 2000, 10)
+	idx := line.Index()
+	queries := benchQueries(line, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		idx.ClosestS(q)
+	}
+}

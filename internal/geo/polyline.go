@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Polyline is a planar path in a local ENU frame with cumulative arc length,
@@ -12,6 +13,10 @@ import (
 type Polyline struct {
 	pts []ENU
 	cum []float64 // cumulative arc length, cum[0] = 0
+
+	// Lazily built spatial index for ClosestS queries; see Index.
+	indexOnce sync.Once
+	index     *IndexedPolyline
 }
 
 // NewPolyline builds a polyline from at least two points. Consecutive
@@ -92,8 +97,9 @@ func (p *Polyline) Resample(spacing float64) ([]ENU, error) {
 	}
 	n := int(math.Floor(p.Length()/spacing)) + 1
 	out := make([]ENU, 0, n+1)
+	hint := 0 // sample positions are monotone, so the hinted locate is O(1)
 	for i := 0; i < n; i++ {
-		out = append(out, p.At(float64(i)*spacing))
+		out = append(out, p.AtHint(float64(i)*spacing, &hint))
 	}
 	if p.Length()-float64(n-1)*spacing > spacing/2 {
 		out = append(out, p.At(p.Length()))
@@ -102,28 +108,74 @@ func (p *Polyline) Resample(spacing float64) ([]ENU, error) {
 }
 
 // ClosestS returns the arc length of the point on the polyline nearest to p,
-// and the distance to it. Used for map-matching GPS fixes onto a road.
+// and the distance to it. Used for map-matching GPS fixes onto a road. This
+// is the exact O(segments) scan; Index().ClosestS gives the same answer
+// sub-linearly.
 func (p *Polyline) ClosestS(q ENU) (s, dist float64) {
 	best := math.Inf(1)
 	bestS := 0.0
 	for i := 0; i+1 < len(p.pts); i++ {
-		a, b := p.pts[i], p.pts[i+1]
-		abE, abN := b.E-a.E, b.N-a.N
-		segLen2 := abE*abE + abN*abN
-		t := ((q.E-a.E)*abE + (q.N-a.N)*abN) / segLen2
-		if t < 0 {
-			t = 0
-		} else if t > 1 {
-			t = 1
-		}
-		cE, cN := a.E+t*abE, a.N+t*abN
-		d := math.Hypot(q.E-cE, q.N-cN)
-		if d < best {
-			best = d
-			bestS = p.cum[i] + t*math.Sqrt(segLen2)
+		if cs, d := p.segClosest(i, q); d < best {
+			best, bestS = d, cs
 		}
 	}
 	return bestS, best
+}
+
+// segClosest returns the arc length and distance of the point on segment i
+// nearest to q. Both the brute-force scan and the spatial index score
+// segments through this one helper so their results are bit-identical.
+func (p *Polyline) segClosest(i int, q ENU) (s, d float64) {
+	a, b := p.pts[i], p.pts[i+1]
+	abE, abN := b.E-a.E, b.N-a.N
+	segLen2 := abE*abE + abN*abN
+	t := ((q.E-a.E)*abE + (q.N-a.N)*abN) / segLen2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	cE, cN := a.E+t*abE, a.N+t*abN
+	return p.cum[i] + t*math.Sqrt(segLen2), math.Hypot(q.E-cE, q.N-cN)
+}
+
+// AtHint is At with a monotone-query accelerator: hint carries the segment
+// index of the previous hit, so sweeps along the road (odometer integration,
+// heading windows) locate in O(1) instead of O(log n). Results are identical
+// to At for any hint value; a nil hint degrades to plain At.
+func (p *Polyline) AtHint(s float64, hint *int) ENU {
+	i, t := p.locateHint(s, hint)
+	a, b := p.pts[i], p.pts[i+1]
+	return ENU{E: a.E + (b.E-a.E)*t, N: a.N + (b.N-a.N)*t}
+}
+
+// locateHint is locate with a cached starting segment. The located segment
+// is the unique one with cum[i] <= s < cum[i+1], so checking the hinted
+// segment (and walking forward a few) returns exactly what the binary
+// search would.
+func (p *Polyline) locateHint(s float64, hint *int) (int, float64) {
+	if hint == nil {
+		return p.locate(s)
+	}
+	if s <= 0 {
+		return 0, 0
+	}
+	last := len(p.pts) - 2
+	if s >= p.Length() {
+		return last, 1
+	}
+	if i := *hint; i >= 0 && i <= last && p.cum[i] <= s {
+		for step := 0; step < 8 && i < last && p.cum[i+1] <= s; step++ {
+			i++
+		}
+		if p.cum[i] <= s && p.cum[i+1] > s {
+			*hint = i
+			return i, (s - p.cum[i]) / (p.cum[i+1] - p.cum[i])
+		}
+	}
+	i, t := p.locate(s)
+	*hint = i
+	return i, t
 }
 
 // CurvatureAt estimates signed curvature (1/m) at arc length s by finite

@@ -8,6 +8,7 @@ package kalman
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"roadgrade/internal/mat"
 )
@@ -18,6 +19,11 @@ import (
 //	z(t)   = h(x(t)) + v,  v ~ N(0, R)
 //
 // with analytic Jacobians F = ∂f/∂x and H = ∂h/∂x.
+//
+// Implementations may reuse one Matrix/slice buffer across calls of the
+// same function (the hot models do, to keep the per-tick allocation count
+// at zero); callers that retain a returned value past the next call must
+// clone it.
 type Model struct {
 	StateDim int
 	MeasDim  int
@@ -53,6 +59,27 @@ type Filter struct {
 	p     *mat.Matrix
 	q     *mat.Matrix
 	r     *mat.Matrix
+
+	// Scratch buffers reused across steps (and across Reset): the filter
+	// runs a predict/update pair per sensor tick, and allocating the
+	// intermediates dominated the evaluation suite's heap churn.
+	scr scratch
+}
+
+// scratch holds the intermediates of one predict/update step.
+type scratch struct {
+	nnA, nnB, nnC, nnD *mat.Matrix // n×n intermediates
+	nnT                *mat.Matrix // n×n transpose scratch
+	eye                *mat.Matrix // n×n identity (constant)
+	mnHP               *mat.Matrix // m×n  H·P
+	nmHT               *mat.Matrix // n×m  Hᵀ
+	nmPHT              *mat.Matrix // n×m  P·Hᵀ
+	nmK                *mat.Matrix // n×m  gain
+	nmKR               *mat.Matrix // n×m  K·R
+	mnKT               *mat.Matrix // m×n  Kᵀ
+	mmS                *mat.Matrix // m×m  innovation covariance
+	mmSInv             *mat.Matrix // m×m
+	innov, kv          []float64
 }
 
 // NewFilter builds a filter with initial state x0, initial covariance p0,
@@ -79,50 +106,90 @@ func NewFilter(model Model, x0 []float64, p0, q, r *mat.Matrix) (*Filter, error)
 		p:     p0.Clone(),
 		q:     q.Clone(),
 		r:     r.Clone(),
+		scr:   scratch{eye: mat.Identity(n)},
 	}, nil
 }
 
 // Predict advances the state one step through the process model.
 func (f *Filter) Predict() {
+	s := &f.scr
 	fj := f.model.PredictJacobian(f.x)
 	f.x = f.model.Predict(f.x)
 	if len(f.x) != f.model.StateDim {
 		panic(fmt.Sprintf("kalman: Predict returned dim %d, want %d", len(f.x), f.model.StateDim))
 	}
 	// P = F P Fᵀ + Q
-	f.p = mat.Symmetrize(mat.Sum(mat.Mul3(fj, f.p, mat.Transpose(fj)), f.q))
+	s.nnA = mat.MulInto(s.nnA, fj, f.p)
+	s.nnT = mat.TransposeInto(s.nnT, fj)
+	s.nnB = mat.MulInto(s.nnB, s.nnA, s.nnT)
+	s.nnB = mat.SumInto(s.nnB, s.nnB, f.q)
+	f.p = mat.SymmetrizeInto(f.p, s.nnB)
 }
 
-// Update folds in measurement z and returns the innovation z − h(x).
+// Update folds in measurement z and returns the innovation z − h(x). The
+// returned slice is a scratch buffer valid until the next Update; clone it to
+// retain.
 func (f *Filter) Update(z []float64) ([]float64, error) {
 	if len(z) != f.model.MeasDim {
 		return nil, fmt.Errorf("kalman: measurement dim %d, want %d", len(z), f.model.MeasDim)
 	}
+	s := &f.scr
 	h := f.model.MeasureJacobian(f.x)
 	pred := f.model.Measure(f.x)
-	innov := mat.SubVec(z, pred)
+	s.innov = mat.SubVecInto(s.innov, z, pred)
 
 	// S = H P Hᵀ + R
-	s := mat.Sum(mat.Mul3(h, f.p, mat.Transpose(h)), f.r)
-	sInv, err := mat.Inverse(s)
-	if err != nil {
-		return nil, fmt.Errorf("kalman: innovation covariance singular: %w", err)
+	s.nmHT = mat.TransposeInto(s.nmHT, h)
+	s.mnHP = mat.MulInto(s.mnHP, h, f.p)
+	s.mmS = mat.MulInto(s.mmS, s.mnHP, s.nmHT)
+	s.mmS = mat.SumInto(s.mmS, s.mmS, f.r)
+	var sInv *mat.Matrix
+	if f.model.MeasDim == 1 {
+		// 1×1 inverse inline; same result (and same singularity test) as the
+		// LU path below, without the factorization allocations.
+		s00 := s.mmS.At(0, 0)
+		if s00 == 0 || math.IsNaN(s00) {
+			return nil, fmt.Errorf("kalman: innovation covariance singular: %w", mat.ErrSingular)
+		}
+		if s.mmSInv == nil {
+			s.mmSInv = mat.New(1, 1)
+		}
+		s.mmSInv.Set(0, 0, 1/s00)
+		sInv = s.mmSInv
+	} else {
+		var err error
+		sInv, err = mat.Inverse(s.mmS)
+		if err != nil {
+			return nil, fmt.Errorf("kalman: innovation covariance singular: %w", err)
+		}
 	}
 	// K = P Hᵀ S⁻¹
-	k := mat.Mul3(f.p, mat.Transpose(h), sInv)
+	s.nmPHT = mat.MulInto(s.nmPHT, f.p, s.nmHT)
+	s.nmK = mat.MulInto(s.nmK, s.nmPHT, sInv)
 	// x += K·innov
-	f.x = mat.AddVec(f.x, mat.MulVec(k, innov))
+	s.kv = mat.MulVecInto(s.kv, s.nmK, s.innov)
+	for i := range f.x {
+		f.x[i] += s.kv[i]
+	}
 	// Joseph form: P = (I−KH) P (I−KH)ᵀ + K R Kᵀ
-	ikh := mat.Sub(mat.Identity(f.model.StateDim), mat.Mul(k, h))
-	f.p = mat.Symmetrize(mat.Sum(
-		mat.Mul3(ikh, f.p, mat.Transpose(ikh)),
-		mat.Mul3(k, f.r, mat.Transpose(k)),
-	))
-	return innov, nil
+	s.nnA = mat.MulInto(s.nnA, s.nmK, h)
+	s.nnB = mat.SubInto(s.nnB, s.eye, s.nnA)
+	s.nnC = mat.MulInto(s.nnC, s.nnB, f.p)
+	s.nnT = mat.TransposeInto(s.nnT, s.nnB)
+	s.nnD = mat.MulInto(s.nnD, s.nnC, s.nnT)
+	s.nmKR = mat.MulInto(s.nmKR, s.nmK, f.r)
+	s.mnKT = mat.TransposeInto(s.mnKT, s.nmK)
+	s.nnA = mat.MulInto(s.nnA, s.nmKR, s.mnKT)
+	s.nnD = mat.SumInto(s.nnD, s.nnD, s.nnA)
+	f.p = mat.SymmetrizeInto(f.p, s.nnD)
+	return s.innov, nil
 }
 
 // State returns a copy of the current state estimate.
 func (f *Filter) State() []float64 { return mat.CloneVec(f.x) }
+
+// StateAt returns one component of the state estimate without copying.
+func (f *Filter) StateAt(i int) float64 { return f.x[i] }
 
 // SetState overwrites the state estimate (e.g. re-anchoring after a gap).
 func (f *Filter) SetState(x []float64) error {
@@ -135,3 +202,23 @@ func (f *Filter) SetState(x []float64) error {
 
 // Covariance returns a copy of the current estimate covariance.
 func (f *Filter) Covariance() *mat.Matrix { return f.p.Clone() }
+
+// CovarianceAt returns one element of the estimate covariance without
+// copying the matrix.
+func (f *Filter) CovarianceAt(i, j int) float64 { return f.p.At(i, j) }
+
+// Reset reinitializes the state and covariance, keeping the model, noise
+// matrices and scratch buffers. It lets one filter run several passes (e.g.
+// the forward/backward sweeps of the two-pass estimator) without rebuilding.
+func (f *Filter) Reset(x0 []float64, p0 *mat.Matrix) error {
+	n := f.model.StateDim
+	if len(x0) != n {
+		return fmt.Errorf("kalman: x0 has dim %d, want %d", len(x0), n)
+	}
+	if p0 == nil || p0.Rows() != n || p0.Cols() != n {
+		return fmt.Errorf("kalman: p0 must be %dx%d", n, n)
+	}
+	copy(f.x, x0)
+	f.p = mat.CopyInto(f.p, p0)
+	return nil
+}

@@ -37,7 +37,9 @@ func NewSmoother(f *Filter) (*Smoother, error) {
 
 // Predict advances the filter one step, recording the prediction.
 func (s *Smoother) Predict() {
-	fj := s.f.model.PredictJacobian(s.f.x)
+	// Clone: the Model contract lets implementations reuse the Jacobian
+	// buffer across calls, and the smoother retains one per step.
+	fj := s.f.model.PredictJacobian(s.f.x).Clone()
 	s.f.Predict()
 	s.steps = append(s.steps, rtsStep{
 		xPred: s.f.State(),

@@ -1,0 +1,100 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func mustEqual(t *testing.T, got, want *Matrix, op string) {
+	t.Helper()
+	if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", op, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		for j := 0; j < want.Cols(); j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("%s: (%d,%d) = %v, want %v (must be bit-identical)", op, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestIntoOpsBitIdentical checks every *Into op against its allocating
+// counterpart on random matrices — the EKF's determinism rests on them being
+// bit-for-bit equal, not just close.
+func TestIntoOpsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		a := randMat(rng, n, m)
+		b := randMat(rng, m, n)
+		c := randMat(rng, n, m)
+		sq := randMat(rng, n, n)
+
+		mustEqual(t, MulInto(nil, a, b), Mul(a, b), "MulInto")
+		mustEqual(t, TransposeInto(nil, a), Transpose(a), "TransposeInto")
+		mustEqual(t, SumInto(nil, a, c), Sum(a, c), "SumInto")
+		mustEqual(t, SubInto(nil, a, c), Sub(a, c), "SubInto")
+		mustEqual(t, SymmetrizeInto(nil, sq), Symmetrize(sq), "SymmetrizeInto")
+		mustEqual(t, CopyInto(nil, a), a.Clone(), "CopyInto")
+
+		// Reused destinations (right shape) give the same answers.
+		dst := New(n, n)
+		mustEqual(t, MulInto(dst, a, b), Mul(a, b), "MulInto reused")
+		// Aliased accumulate: dst == a is allowed for Sum/Sub.
+		aCopy := a.Clone()
+		mustEqual(t, SumInto(aCopy, aCopy, c), Sum(a, c), "SumInto aliased")
+
+		v := make([]float64, m)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		gotV := MulVecInto(nil, a, v)
+		wantV := MulVec(a, v)
+		for i := range wantV {
+			if gotV[i] != wantV[i] {
+				t.Fatalf("MulVecInto[%d] = %v, want %v", i, gotV[i], wantV[i])
+			}
+		}
+		u := make([]float64, m)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		gotS := SubVecInto(nil, v, u)
+		wantS := SubVec(v, u)
+		for i := range wantS {
+			if gotS[i] != wantS[i] {
+				t.Fatalf("SubVecInto[%d] = %v, want %v", i, gotS[i], wantS[i])
+			}
+		}
+	}
+}
+
+func TestIntoAliasPanics(t *testing.T) {
+	a := randMat(rand.New(rand.NewSource(6)), 3, 3)
+	for name, fn := range map[string]func(){
+		"MulInto":        func() { MulInto(a, a, a) },
+		"TransposeInto":  func() { TransposeInto(a, a) },
+		"SymmetrizeInto": func() { SymmetrizeInto(a, a) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: aliased dst did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
