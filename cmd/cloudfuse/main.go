@@ -4,20 +4,27 @@
 //
 // Usage:
 //
-//	cloudfuse -addr :8080
+//	cloudfuse -addr :8080 -drain 10s
 //
 // API:
 //
 //	POST /v1/roads/{id}/profiles   {"spacing_m":5,"grade_rad":[...],"var":[...]}
 //	GET  /v1/roads/{id}/profile
 //	GET  /v1/roads
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to the -drain timeout before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"roadgrade/internal/cloud"
@@ -32,16 +39,41 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           cloud.NewServer().Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Printf("cloudfuse listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		return err
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("cloudfuse listening on %s\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills hard
+		fmt.Println("cloudfuse: shutting down, draining in-flight requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("graceful shutdown: %w", err)
+		}
+		return nil
 	}
-	return nil
 }

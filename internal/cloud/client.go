@@ -3,34 +3,189 @@ package cloud
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"time"
 
 	"roadgrade/internal/fusion"
 )
 
-// Client talks to a fusion Server over HTTP.
+// Client talks to a fusion Server over HTTP. Requests that fail with a
+// transport error or a 5xx are retried with exponential backoff plus jitter;
+// submissions carry a content-derived Idempotency-Key so a retry after an
+// ambiguous failure (request delivered, response lost) cannot double-count a
+// profile.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	maxAttempts   int
+	baseBackoff   time.Duration
+	maxBackoff    time.Duration
+	perTryTimeout time.Duration
+
+	// sleep and jitter are injectable for tests.
+	sleep  func(time.Duration)
+	jitter func() float64
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithRetry sets the total attempt budget (including the first try) and the
+// backoff window. attempts < 1 disables retries.
+func WithRetry(attempts int, base, max time.Duration) Option {
+	return func(c *Client) {
+		c.maxAttempts = attempts
+		c.baseBackoff = base
+		c.maxBackoff = max
+	}
+}
+
+// WithPerTryTimeout bounds each individual attempt (0 disables; the caller's
+// context still applies to the whole call).
+func WithPerTryTimeout(d time.Duration) Option {
+	return func(c *Client) { c.perTryTimeout = d }
 }
 
 // NewClient returns a client for the service at base (e.g.
-// "http://localhost:8080"). hc defaults to http.DefaultClient.
-func NewClient(base string, hc *http.Client) (*Client, error) {
+// "http://localhost:8080"). hc defaults to http.DefaultClient. The default
+// policy is 4 attempts, 100 ms base backoff capped at 2 s, 10 s per attempt.
+func NewClient(base string, hc *http.Client, opts ...Option) (*Client, error) {
 	if base == "" {
 		return nil, errors.New("cloud: empty base URL")
 	}
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: base, hc: hc}, nil
+	c := &Client{
+		base:          base,
+		hc:            hc,
+		maxAttempts:   4,
+		baseBackoff:   100 * time.Millisecond,
+		maxBackoff:    2 * time.Second,
+		perTryTimeout: 10 * time.Second,
+		sleep:         time.Sleep,
+		jitter:        rand.Float64,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.maxAttempts < 1 {
+		c.maxAttempts = 1
+	}
+	return c, nil
 }
 
-// SubmitProfile uploads one vehicle's fused profile for a road.
+// maxErrorBodyBytes caps how much of an error response is read; a
+// misbehaving server cannot balloon client memory.
+const maxErrorBodyBytes = 4096
+
+// maxResponseBodyBytes caps decoded success responses (a full network
+// profile is well under 1 MiB).
+const maxResponseBodyBytes = 8 << 20
+
+// drainClose discards at most maxErrorBodyBytes of the remaining body and
+// closes it, on every path, so the transport can reuse the connection and a
+// hostile body cannot grow without bound.
+func drainClose(resp *http.Response) {
+	if resp == nil || resp.Body == nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBodyBytes))
+	_ = resp.Body.Close()
+}
+
+// retryable reports whether an attempt outcome warrants another try.
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true // transport-level failure
+	}
+	return resp.StatusCode >= 500
+}
+
+// backoffFor computes the pre-attempt delay: exponential in the retry count,
+// capped, with ±50% jitter so a fleet of phones retrying a recovering server
+// does not synchronize.
+func (c *Client) backoffFor(retry int) time.Duration {
+	d := c.baseBackoff << uint(retry)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	return time.Duration(float64(d) * (0.5 + c.jitter()))
+}
+
+// do runs one request with the retry policy. build must return a fresh
+// request each call (bodies are consumed by failed attempts). The returned
+// response body is the caller's to close.
+func (c *Client) do(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			wait := c.backoffFor(attempt - 1)
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("cloud: giving up after %d attempts: %w", attempt, ctx.Err())
+			default:
+				c.sleep(wait)
+			}
+		}
+		tryCtx := ctx
+		var cancel context.CancelFunc = func() {}
+		if c.perTryTimeout > 0 {
+			tryCtx, cancel = context.WithTimeout(ctx, c.perTryTimeout)
+		}
+		req, err := build(tryCtx)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("cloud: building request: %w", err)
+		}
+		resp, err := c.hc.Do(req)
+		if !retryable(resp, err) {
+			// Success or a non-retryable (4xx) response: hand it to the
+			// caller. The cancel must outlive the body read, so tie it to
+			// the body's Close.
+			resp.Body = &cancelOnClose{rc: resp.Body, cancel: cancel}
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("%s", readError(resp))
+			drainClose(resp)
+		}
+		cancel()
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("cloud: request failed after %d attempts: %w", c.maxAttempts, lastErr)
+}
+
+// cancelOnClose releases an attempt's timeout when the caller finishes
+// reading the response.
+type cancelOnClose struct {
+	rc     io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Read(p []byte) (int, error) { return c.rc.Read(p) }
+
+func (c *cancelOnClose) Close() error {
+	err := c.rc.Close()
+	c.cancel()
+	return err
+}
+
+// SubmitProfile uploads one vehicle's fused profile for a road. Retries are
+// idempotent: the request carries a key derived from the road and payload, so
+// the server stores at most one copy no matter how many attempts land.
 func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Profile) error {
 	if p == nil || p.Len() == 0 {
 		return errors.New("cloud: empty profile")
@@ -39,17 +194,22 @@ func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Pro
 	if err != nil {
 		return fmt.Errorf("cloud: encoding profile: %w", err)
 	}
+	sum := sha256.Sum256(append([]byte(roadID+"\x00"), body...))
+	key := hex.EncodeToString(sum[:])
 	url := fmt.Sprintf("%s/v1/roads/%s/profiles", c.base, roadID)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("cloud: building request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		return req, nil
+	})
 	if err != nil {
 		return fmt.Errorf("cloud: submitting profile: %w", err)
 	}
-	defer func() { _ = resp.Body.Close() }()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusAccepted {
 		return fmt.Errorf("cloud: submit failed: %s", readError(resp))
 	}
@@ -59,20 +219,18 @@ func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Pro
 // FetchProfile downloads the fused profile for a road.
 func (c *Client) FetchProfile(ctx context.Context, roadID string) (*fusion.Profile, error) {
 	url := fmt.Sprintf("%s/v1/roads/%s/profile", c.base, roadID)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, fmt.Errorf("cloud: building request: %w", err)
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cloud: fetching profile: %w", err)
 	}
-	defer func() { _ = resp.Body.Close() }()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cloud: fetch failed: %s", readError(resp))
 	}
 	var dto ProfileDTO
-	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBodyBytes)).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("cloud: decoding profile: %w", err)
 	}
 	return dto.toProfile()
@@ -80,20 +238,18 @@ func (c *Client) FetchProfile(ctx context.Context, roadID string) (*fusion.Profi
 
 // ListRoads fetches the submission summary.
 func (c *Client) ListRoads(ctx context.Context) ([]RoadStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/roads", nil)
-	if err != nil {
-		return nil, fmt.Errorf("cloud: building request: %w", err)
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/roads", nil)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("cloud: listing roads: %w", err)
 	}
-	defer func() { _ = resp.Body.Close() }()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cloud: list failed: %s", readError(resp))
 	}
 	var out []RoadStatus
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBodyBytes)).Decode(&out); err != nil {
 		return nil, fmt.Errorf("cloud: decoding road list: %w", err)
 	}
 	return out, nil
@@ -101,7 +257,7 @@ func (c *Client) ListRoads(ctx context.Context) ([]RoadStatus, error) {
 
 func readError(resp *http.Response) string {
 	var body errorBody
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxErrorBodyBytes))
 	if err == nil && json.Unmarshal(data, &body) == nil && body.Error != "" {
 		return fmt.Sprintf("%s (HTTP %d)", body.Error, resp.StatusCode)
 	}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -29,20 +30,41 @@ type ProfileDTO struct {
 	Var      []float64 `json:"var"`
 }
 
-// toProfile validates and converts the DTO.
+// maxProfileCells bounds a submission: at the standard 5 m spacing this is
+// 5000 km of road, far beyond any single drive.
+const maxProfileCells = 1 << 20
+
+// maxGradeRad bounds a believable submitted grade (≈45°); anything steeper is
+// sensor garbage, not road.
+const maxGradeRad = 0.8
+
+// toProfile validates and converts the DTO. Validation is strict — a single
+// corrupt submission (NaN, absurd length, impossible grade) must be rejected
+// at the door rather than poisoning every future fusion of the road.
 func (d ProfileDTO) toProfile() (*fusion.Profile, error) {
-	if d.SpacingM <= 0 {
+	if d.SpacingM <= 0 || math.IsNaN(d.SpacingM) || math.IsInf(d.SpacingM, 0) {
 		return nil, fmt.Errorf("cloud: invalid spacing %v", d.SpacingM)
 	}
 	if len(d.GradeRad) == 0 {
 		return nil, errors.New("cloud: empty profile")
 	}
+	if len(d.GradeRad) > maxProfileCells {
+		return nil, fmt.Errorf("cloud: profile too long (%d cells, max %d)", len(d.GradeRad), maxProfileCells)
+	}
 	if len(d.GradeRad) != len(d.Var) {
 		return nil, fmt.Errorf("cloud: grade/var length mismatch %d vs %d", len(d.GradeRad), len(d.Var))
 	}
+	for i, g := range d.GradeRad {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			return nil, fmt.Errorf("cloud: non-finite grade at %d", i)
+		}
+		if math.Abs(g) > maxGradeRad {
+			return nil, fmt.Errorf("cloud: implausible grade %v rad at %d", g, i)
+		}
+	}
 	for i, v := range d.Var {
-		if v <= 0 {
-			return nil, fmt.Errorf("cloud: non-positive variance at %d", i)
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("cloud: invalid variance %v at %d", v, i)
 		}
 	}
 	p := &fusion.Profile{
@@ -77,6 +99,11 @@ type Server struct {
 	mu    sync.Mutex
 	roads map[string][]*fusion.Profile
 
+	// Idempotency dedup: keys of accepted submissions, bounded FIFO.
+	seenKeys map[string]struct{}
+	keyQueue []string
+	maxKeys  int
+
 	// MaxSubmissionsPerRoad bounds memory; once reached, the oldest
 	// submission is dropped (the fused result keeps improving from fresh
 	// data). Default 64.
@@ -85,7 +112,12 @@ type Server struct {
 
 // NewServer returns an empty fusion server.
 func NewServer() *Server {
-	return &Server{roads: make(map[string][]*fusion.Profile), MaxSubmissionsPerRoad: 64}
+	return &Server{
+		roads:                 make(map[string][]*fusion.Profile),
+		seenKeys:              make(map[string]struct{}),
+		maxKeys:               4096,
+		MaxSubmissionsPerRoad: 64,
+	}
 }
 
 // Submit stores one vehicle's profile for a road.
@@ -108,6 +140,43 @@ func (s *Server) Submit(roadID string, p *fusion.Profile) error {
 	}
 	s.roads[roadID] = list
 	return nil
+}
+
+// SubmitIdempotent stores a profile unless the idempotency key has already
+// been accepted, in which case it reports duplicate=true and stores nothing —
+// a retried upload after a lost response cannot double-count. An empty key
+// always stores.
+func (s *Server) SubmitIdempotent(roadID, key string, p *fusion.Profile) (duplicate bool, err error) {
+	if key != "" {
+		// Reserve the key atomically so two concurrent retries of the same
+		// upload cannot both store.
+		s.mu.Lock()
+		if _, ok := s.seenKeys[key]; ok {
+			s.mu.Unlock()
+			return true, nil
+		}
+		s.seenKeys[key] = struct{}{}
+		s.keyQueue = append(s.keyQueue, key)
+		if len(s.keyQueue) > s.maxKeys {
+			delete(s.seenKeys, s.keyQueue[0])
+			s.keyQueue = s.keyQueue[1:]
+		}
+		s.mu.Unlock()
+	}
+	if err := s.Submit(roadID, p); err != nil {
+		if key != "" {
+			// Release the reservation: a rejected submission must stay
+			// retryable after the client fixes it.
+			s.mu.Lock()
+			delete(s.seenKeys, key)
+			if n := len(s.keyQueue); n > 0 && s.keyQueue[n-1] == key {
+				s.keyQueue = s.keyQueue[:n-1]
+			}
+			s.mu.Unlock()
+		}
+		return false, err
+	}
+	return false, nil
 }
 
 // Fused returns the fused profile for a road.
@@ -142,11 +211,21 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// maxSubmitBodyBytes caps a submission request body; profiles are ~30 bytes
+// per 5 m cell, so 4 MiB covers hundreds of kilometers.
+const maxSubmitBodyBytes = 4 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBodyBytes)
 	var dto ProfileDTO
 	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding profile: %w", err))
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, fmt.Errorf("decoding profile: %w", err))
 		return
 	}
 	p, err := dto.toProfile()
@@ -154,7 +233,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.Submit(id, p); err != nil {
+	if _, err := s.SubmitIdempotent(id, r.Header.Get("Idempotency-Key"), p); err != nil {
 		httpError(w, http.StatusConflict, err)
 		return
 	}

@@ -31,6 +31,11 @@ type Track struct {
 	// max(1, NIS) so the Eq. (6) fusion weights reflect realized (not just
 	// modeled) track quality.
 	NIS float64
+	// Rejected counts measurements the innovation gate refused (outliers and
+	// non-finite readings); Resets counts automatic filter re-initializations
+	// after divergence. Both are zero on a healthy drive.
+	Rejected int
+	Resets   int
 }
 
 // Len returns the number of samples in the track.
@@ -65,6 +70,17 @@ type Config struct {
 	MeasurementNoise float64
 	// InitialGradeVar is the prior variance on θ (default (2°)²).
 	InitialGradeVar float64
+	// NISGate is the innovation gate: a velocity measurement whose
+	// normalized innovation squared ν²/S exceeds the gate is rejected
+	// instead of folded in, so multipath spikes and stalled-sensor jumps
+	// cannot yank the state. Default 25 (a 5σ gate — wide enough that a
+	// healthy drive essentially never trips it); negative disables gating.
+	NISGate float64
+	// DivergenceGradeRad bounds the plausible |θ| estimate; beyond it (or on
+	// a non-finite state/covariance) the filter is declared diverged and
+	// reset to the last good speed with the initial covariance. Default
+	// 0.6 rad (≈34°, steeper than any drivable road).
+	DivergenceGradeRad float64
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.InitialGradeVar <= 0 {
 		d := 2 * math.Pi / 180
 		c.InitialGradeVar = d * d
+	}
+	if c.NISGate == 0 {
+		c.NISGate = 25
+	}
+	if c.DivergenceGradeRad <= 0 {
+		c.DivergenceGradeRad = 0.6
 	}
 	return c
 }
@@ -154,6 +176,11 @@ func (p *Pipeline) Adjust(trace *sensors.Trace, line *geo.Polyline) (*Adjusted, 
 		gyro[i] = r.GyroYaw
 		speed[i] = r.Speedometer
 	}
+	// Gap bridging: NaN/Inf readings (a crashed sensor HAL) are replaced by
+	// the last finite value so downstream detection and localization see a
+	// continuous, finite signal.
+	bridgeNonFinite(gyro)
+	bridgeNonFinite(speed)
 	steer, err := est.SteerRates(trace.DT, gyro, speed)
 	if err != nil {
 		return nil, fmt.Errorf("core: deriving steer rates: %w", err)
@@ -166,14 +193,45 @@ func (p *Pipeline) Adjust(trace *sensors.Trace, line *geo.Polyline) (*Adjusted, 
 	return &Adjusted{
 		SteerRates: steer,
 		Detections: detections,
-		S:          localize(trace, line),
+		S:          localize(trace, speed, line),
 	}, nil
 }
 
+// bridgeNonFinite replaces NaN/Inf entries with the nearest preceding finite
+// value (or the first finite value for a non-finite prefix; zeros if the
+// whole series is bad).
+func bridgeNonFinite(xs []float64) {
+	first := math.NaN()
+	for _, x := range xs {
+		if isFinite(x) {
+			first = x
+			break
+		}
+	}
+	if !isFinite(first) {
+		for i := range xs {
+			xs[i] = 0
+		}
+		return
+	}
+	last := first
+	for i, x := range xs {
+		if isFinite(x) {
+			last = x
+		} else {
+			xs[i] = last
+		}
+	}
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // localize dead-reckons arc position from the odometer and snaps toward
 // map-matched GPS fixes — how a phone app tracks where it is on the road
-// between (and through) GPS dropouts.
-func localize(trace *sensors.Trace, line *geo.Polyline) []float64 {
+// between (and through) GPS dropouts. speeds is the bridged (finite)
+// speedometer series; the maxSnapM/maxOffRoad guards double as multipath
+// rejection, so spiked fixes cannot teleport the localization.
+func localize(trace *sensors.Trace, speeds []float64, line *geo.Polyline) []float64 {
 	const (
 		blendGain  = 0.3 // pull toward the GPS-matched position per fix
 		maxSnapM   = 60  // ignore fixes matching implausibly far away
@@ -183,8 +241,8 @@ func localize(trace *sensors.Trace, line *geo.Polyline) []float64 {
 	out := make([]float64, len(trace.Records))
 	var s float64
 	for i, rec := range trace.Records {
-		s += rec.Speedometer * trace.DT
-		if rec.GPSValid {
+		s += speeds[i] * trace.DT
+		if rec.GPSValid && isFinite(rec.GPSE) && isFinite(rec.GPSN) {
 			sGPS, dist := idx.ClosestS(geo.ENU{E: rec.GPSE, N: rec.GPSN})
 			if dist < maxOffRoad && math.Abs(sGPS-s) < maxSnapM {
 				s += blendGain * (sGPS - s)
@@ -241,20 +299,23 @@ func (p *Pipeline) EstimateTrack(trace *sensors.Trace, adj *Adjusted, src sensor
 	if err != nil {
 		return nil, fmt.Errorf("core: building filter: %w", err)
 	}
-	fwd, err := p.runPass(trace, vels, corrected, sigma, false, model, f)
+	fwd, err := p.runPass(trace, vels, corrected, sigma, false, model, f, p0)
 	if err != nil {
 		return nil, err
 	}
 	grade, vari := fwd.grade, fwd.vari
+	rejected, resets := fwd.rejected, fwd.resets
 	if !p.cfg.DisableTwoPass {
 		model.DT = -dt
 		if err := f.Reset([]float64{lastValid(vels), 0}, p0); err != nil {
 			return nil, fmt.Errorf("core: resetting filter: %w", err)
 		}
-		bwd, err := p.runPass(trace, vels, corrected, sigma, true, model, f)
+		bwd, err := p.runPass(trace, vels, corrected, sigma, true, model, f, p0)
 		if err != nil {
 			return nil, err
 		}
+		rejected += bwd.rejected
+		resets += bwd.resets
 		// Per-sample inverse-variance combination of the causal and
 		// anti-causal passes (zero-phase smoothing).
 		for i := range grade {
@@ -273,6 +334,8 @@ func (p *Pipeline) EstimateTrack(trace *sensors.Trace, adj *Adjusted, src sensor
 		GradeRad: grade,
 		Var:      vari,
 		NIS:      fwd.nis,
+		Rejected: rejected,
+		Resets:   resets,
 	}
 	for i, rec := range trace.Records {
 		track.T = append(track.T, rec.T)
@@ -290,37 +353,59 @@ func (p *Pipeline) EstimateTrack(trace *sensors.Trace, adj *Adjusted, src sensor
 
 // passResult is one directional EKF sweep over the trace.
 type passResult struct {
-	grade []float64
-	vari  []float64
-	nis   float64
+	grade    []float64
+	vari     []float64
+	nis      float64
+	rejected int
+	resets   int
 }
 
 // runPass sweeps the EKF over the trace forward (reverse=false) or backward
 // in time (reverse=true; the caller flips the model's Δt and resets the
-// filter state between directions).
-func (p *Pipeline) runPass(trace *sensors.Trace, vels []sensors.VelSample, corrected []float64, sigma float64, reverse bool, model *GradeModel, f *kalman.Filter) (passResult, error) {
+// filter state between directions). The sweep is hardened against degraded
+// input: non-finite accelerometer reads are bridged with the last finite
+// value, measurements are innovation-gated, and a diverged filter (non-finite
+// state or implausible grade) is re-initialized from the last good speed
+// instead of poisoning the rest of the pass.
+func (p *Pipeline) runPass(trace *sensors.Trace, vels []sensors.VelSample, corrected []float64, sigma float64, reverse bool, model *GradeModel, f *kalman.Filter, p0 *mat.Matrix) (passResult, error) {
 	n := len(trace.Records)
 	res := passResult{grade: make([]float64, n), vari: make([]float64, n)}
 	var nisSum float64
 	var nisN int
 	z := make([]float64, 1)
+	lastAccel := 0.0
+	lastGoodV := f.StateAt(0) // the caller's (finite) initial speed
 	for step := 0; step < n; step++ {
 		i := step
 		if reverse {
 			i = n - 1 - step
 		}
 		rec := trace.Records[i]
-		model.Accel = rec.AccelLong
+		if isFinite(rec.AccelLong) {
+			lastAccel = rec.AccelLong
+		}
+		model.Accel = lastAccel
 		f.Predict()
 		if vels[i].Valid {
 			priorVar := f.CovarianceAt(0, 0)
 			z[0] = corrected[i]
-			innov, err := f.Update(z)
+			innov, accepted, err := f.UpdateGated(z, p.cfg.NISGate)
 			if err != nil {
 				return passResult{}, fmt.Errorf("core: EKF update at t=%.2f: %w", rec.T, err)
 			}
-			nisSum += innov[0] * innov[0] / (priorVar + sigma*sigma)
-			nisN++
+			if accepted {
+				nisSum += innov[0] * innov[0] / (priorVar + sigma*sigma)
+				nisN++
+				lastGoodV = z[0]
+			} else {
+				res.rejected++
+			}
+		}
+		if p.diverged(f) {
+			if err := f.Reset([]float64{lastGoodV, 0}, p0); err != nil {
+				return passResult{}, fmt.Errorf("core: divergence reset at t=%.2f: %w", rec.T, err)
+			}
+			res.resets++
 		}
 		res.grade[i] = f.StateAt(1)
 		res.vari[i] = math.Max(1e-12, f.CovarianceAt(1, 1))
@@ -329,6 +414,18 @@ func (p *Pipeline) runPass(trace *sensors.Trace, vels []sensors.VelSample, corre
 		res.nis = nisSum / float64(nisN)
 	}
 	return res, nil
+}
+
+// diverged runs the streaming-estimator divergence test: non-finite state or
+// covariance, an implausibly steep grade estimate, or an impossible speed.
+func (p *Pipeline) diverged(f *kalman.Filter) bool {
+	if !f.Healthy() {
+		return true
+	}
+	if math.Abs(f.StateAt(1)) > p.cfg.DivergenceGradeRad {
+		return true
+	}
+	return math.Abs(f.StateAt(0)) > 150 // m/s; no road vehicle goes there
 }
 
 // EstimateAll produces the four velocity-source tracks of §III-C3 from one
@@ -352,7 +449,7 @@ func (p *Pipeline) EstimateAll(trace *sensors.Trace, line *geo.Polyline) ([]*Tra
 
 func firstValid(vels []sensors.VelSample) float64 {
 	for _, v := range vels {
-		if v.Valid {
+		if v.Valid && isFinite(v.V) {
 			return v.V
 		}
 	}
@@ -361,7 +458,7 @@ func firstValid(vels []sensors.VelSample) float64 {
 
 func lastValid(vels []sensors.VelSample) float64 {
 	for i := len(vels) - 1; i >= 0; i-- {
-		if vels[i].Valid {
+		if vels[i].Valid && isFinite(vels[i].V) {
 			return vels[i].V
 		}
 	}

@@ -34,6 +34,13 @@ type Streaming struct {
 	started bool
 	s       float64 // localized arc position
 	t       float64
+
+	// Graceful-degradation state: last finite readings for gap bridging,
+	// plus counters a supervisor can watch.
+	lastAccel  float64
+	lastSpeedo float64
+	rejected   int
+	resets     int
 }
 
 // Estimate is the streaming output after one record.
@@ -80,17 +87,37 @@ func NewStreaming(cfg Config, line *geo.Polyline, src sensors.VelocitySource, dt
 	}, nil
 }
 
+// Rejected counts measurements refused by the innovation gate; Resets counts
+// automatic filter re-initializations after divergence. Both stay zero on a
+// healthy stream.
+func (st *Streaming) Rejected() int { return st.rejected }
+
+// Resets reports how many times divergence detection re-initialized the
+// filter.
+func (st *Streaming) Resets() int { return st.resets }
+
 // Push feeds one sensor record and returns the updated estimate. The first
-// record initializes the filter from the measured speed.
+// record initializes the filter from the measured speed. Degraded input fails
+// soft: non-finite readings are bridged with the last finite value, outlier
+// measurements are gated out, and a diverged filter resets itself.
 func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
 	v, valid, err := st.velocityOf(rec)
 	if err != nil {
 		return Estimate{}, err
 	}
+	if valid && !isFinite(v) {
+		valid = false
+	}
+	if isFinite(rec.AccelLong) {
+		st.lastAccel = rec.AccelLong
+	}
+	if isFinite(rec.Speedometer) {
+		st.lastSpeedo = rec.Speedometer
+	}
 	if !st.started {
 		v0 := v
 		if !valid {
-			v0 = rec.Speedometer
+			v0 = st.lastSpeedo
 		}
 		model := &GradeModel{Params: st.cfg.Params, DT: st.dt}
 		f, err := kalman.NewFilter(model.kalmanModel(), []float64{v0, 0},
@@ -109,31 +136,54 @@ func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
 		st.started = true
 	}
 
-	// Localize: odometer integration snapped to map-matched GPS fixes.
-	st.s += rec.Speedometer * st.dt
-	if rec.GPSValid {
+	// Localize: odometer integration snapped to map-matched GPS fixes. The
+	// distance guards double as multipath rejection.
+	st.s += st.lastSpeedo * st.dt
+	if rec.GPSValid && isFinite(rec.GPSE) && isFinite(rec.GPSN) {
 		sGPS, dist := st.idx.ClosestS(geo.ENU{E: rec.GPSE, N: rec.GPSN})
 		if dist < 25 && math.Abs(sGPS-st.s) < 60 {
 			st.s += 0.3 * (sGPS - st.s)
 		}
 	}
 
-	st.model.Accel = rec.AccelLong
+	st.model.Accel = st.lastAccel
 	st.filter.Predict()
 	if valid {
 		st.z[0] = v
-		if _, err := st.filter.Update(st.z[:]); err != nil {
+		_, accepted, err := st.filter.UpdateGated(st.z[:], st.cfg.NISGate)
+		if err != nil {
 			return Estimate{}, fmt.Errorf("core: streaming update at t=%.2f: %w", rec.T, err)
 		}
+		if !accepted {
+			st.rejected++
+		}
+	}
+	// Divergence detection: a non-finite or implausible state re-initializes
+	// the filter from the last finite speed instead of streaming garbage.
+	if !st.filter.Healthy() ||
+		math.Abs(st.filter.StateAt(1)) > st.cfg.DivergenceGradeRad ||
+		math.Abs(st.filter.StateAt(0)) > 150 {
+		v0 := st.lastSpeedo
+		if valid {
+			v0 = v
+		}
+		if err := st.filter.Reset([]float64{v0, 0}, mat.Diag(1, st.cfg.InitialGradeVar)); err != nil {
+			return Estimate{}, fmt.Errorf("core: streaming divergence reset at t=%.2f: %w", rec.T, err)
+		}
+		st.resets++
 	}
 	st.t = rec.T
+	steerGyro := rec.GyroYaw
+	if !isFinite(steerGyro) {
+		steerGyro = 0
+	}
 	return Estimate{
 		T:         rec.T,
 		S:         st.s,
 		SpeedMS:   st.filter.StateAt(0),
 		GradeRad:  st.filter.StateAt(1),
 		GradeVar:  st.filter.CovarianceAt(1, 1),
-		SteerRate: rec.GyroYaw - st.steer.RoadRateAt(st.s, math.Max(rec.Speedometer, 0.1)),
+		SteerRate: steerGyro - st.steer.RoadRateAt(st.s, math.Max(st.lastSpeedo, 0.1)),
 	}, nil
 }
 

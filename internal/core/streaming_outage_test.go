@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"roadgrade/internal/road"
+	"roadgrade/internal/sensors"
+)
+
+// TestStreamingSurvivesGPSOutage drops every GPS fix for 30 s mid-drive: the
+// causal estimator must stay finite throughout (dead-reckoning through the
+// gap) and re-converge to the true grade once fixes return.
+func TestStreamingSurvivesGPSOutage(t *testing.T) {
+	const grade = 2.5
+	r, err := road.StraightRoad("outage", 2500, road.Deg(grade), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace := simulate(t, r, 13, 0, 47)
+
+	const outageStart, outageEnd = 60.0, 90.0
+	for i := range trace.Records {
+		if rec := &trace.Records[i]; rec.T >= outageStart && rec.T < outageEnd {
+			rec.GPSValid = false
+			rec.GPSE, rec.GPSN, rec.GPSAlt, rec.GPSSpeed = 0, 0, 0, 0
+		}
+	}
+
+	st, err := NewStreaming(Config{}, r.Line(), sensors.SourceCANBus, trace.DT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errsAfterRecovery []float64
+	for _, rec := range trace.Records {
+		est, err := st.Push(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range map[string]float64{
+			"S": est.S, "SpeedMS": est.SpeedMS, "GradeRad": est.GradeRad, "GradeVar": est.GradeVar,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite %s at t=%.2f (outage [%.0f,%.0f))", name, rec.T, outageStart, outageEnd)
+			}
+		}
+		// Allow 30 s after fixes return before demanding convergence.
+		if rec.T > outageEnd+30 {
+			errsAfterRecovery = append(errsAfterRecovery,
+				math.Abs(est.GradeRad-road.Deg(grade))*180/math.Pi)
+		}
+	}
+	if len(errsAfterRecovery) == 0 {
+		t.Fatal("trip too short to observe recovery")
+	}
+	if med := median(errsAfterRecovery); med > 0.5 {
+		t.Errorf("median grade error %v deg after outage, want re-convergence under 0.5", med)
+	}
+}

@@ -34,6 +34,7 @@ func Registry() map[string]Runner {
 		"multivehicle": MultiVehicle,
 		"ablation":     Ablation,
 		"robustness":   Robustness,
+		"robustsweep":  RobustnessSweep,
 		"speedsweep":   SpeedSweep,
 		"journey":      Journey,
 		"routing":      Routing,

@@ -34,7 +34,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b",
 		"lanechange", "headline", "uplift",
 		// Extension studies.
-		"misalignment", "multivehicle", "ablation", "robustness", "speedsweep",
+		"misalignment", "multivehicle", "ablation", "robustness", "robustsweep",
+		"speedsweep",
 		"journey", "routing",
 	}
 	reg := Registry()

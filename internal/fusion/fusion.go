@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"roadgrade/internal/core"
+	"roadgrade/internal/sensors"
 )
 
 // Profile is a fused road-gradient profile on a regular arc-length grid.
@@ -85,6 +86,51 @@ func resample(t *core.Track, spacing float64, cells int) gridded {
 	return g
 }
 
+// maxPlausibleGradeRad bounds a believable road grade estimate (≈34°);
+// tracks spending a real fraction of their samples beyond it are degenerate.
+const maxPlausibleGradeRad = 0.6
+
+// TrackReport is the health verdict for one input track of a fusion call.
+type TrackReport struct {
+	Index       int
+	Source      sensors.VelocitySource
+	Quarantined bool
+	Reason      string
+}
+
+// CheckTrack returns nil for a healthy track, or the reason it must be
+// quarantined: empty or inconsistent layout, non-finite samples, non-positive
+// variance, or an implausible grade profile.
+func CheckTrack(t *core.Track) error {
+	if t == nil || t.Len() == 0 {
+		return errors.New("empty track")
+	}
+	n := t.Len()
+	if len(t.S) != n || len(t.GradeRad) != n || len(t.Var) != n {
+		return fmt.Errorf("inconsistent lengths T=%d S=%d grade=%d var=%d",
+			n, len(t.S), len(t.GradeRad), len(t.Var))
+	}
+	implausible := 0
+	for i := 0; i < n; i++ {
+		if !finite(t.S[i]) || !finite(t.GradeRad[i]) || !finite(t.Var[i]) {
+			return fmt.Errorf("non-finite sample at %d", i)
+		}
+		if t.Var[i] <= 0 {
+			return fmt.Errorf("non-positive variance %v at %d", t.Var[i], i)
+		}
+		if math.Abs(t.GradeRad[i]) > maxPlausibleGradeRad {
+			implausible++
+		}
+	}
+	if frac := float64(implausible) / float64(n); frac > 0.02 {
+		return fmt.Errorf("implausible grade (|θ| > %.2f rad) on %.0f%% of samples",
+			maxPlausibleGradeRad, frac*100)
+	}
+	return nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // FuseTracks combines gradient tracks with the basic convex combination of
 // Eq. (6):
 //
@@ -99,22 +145,50 @@ func resample(t *core.Track, spacing float64, cells int) gridded {
 // consensus profile and rescaling each track's P_k to its empirical deviation
 // variance. This keeps the Eq. (6) form while making the weights reflect
 // realized track quality.
+//
+// Degenerate tracks (NaN samples, zero variance, implausible grades — see
+// CheckTrack) are quarantined rather than fused, so one corrupted velocity
+// source degrades the result to the surviving tracks instead of poisoning the
+// consensus; FuseTracksReport exposes the verdicts. Fusing fails only when no
+// healthy track remains.
 func FuseTracks(tracks []*core.Track, spacingM, lengthM float64) (*Profile, error) {
+	prof, _, err := FuseTracksReport(tracks, spacingM, lengthM)
+	return prof, err
+}
+
+// FuseTracksReport is FuseTracks returning the per-track health verdicts
+// alongside the fused profile.
+func FuseTracksReport(tracks []*core.Track, spacingM, lengthM float64) (*Profile, []TrackReport, error) {
 	if len(tracks) == 0 {
-		return nil, errors.New("fusion: no tracks")
+		return nil, nil, errors.New("fusion: no tracks")
 	}
 	if spacingM <= 0 {
-		return nil, fmt.Errorf("fusion: invalid spacing %v", spacingM)
+		return nil, nil, fmt.Errorf("fusion: invalid spacing %v", spacingM)
 	}
 	if lengthM <= 0 {
-		return nil, fmt.Errorf("fusion: invalid length %v", lengthM)
+		return nil, nil, fmt.Errorf("fusion: invalid length %v", lengthM)
+	}
+	reports := make([]TrackReport, len(tracks))
+	var healthy []*core.Track
+	for i, t := range tracks {
+		reports[i] = TrackReport{Index: i}
+		if t != nil {
+			reports[i].Source = t.Source
+		}
+		if err := CheckTrack(t); err != nil {
+			reports[i].Quarantined = true
+			reports[i].Reason = err.Error()
+			continue
+		}
+		healthy = append(healthy, t)
+	}
+	if len(healthy) == 0 {
+		return nil, reports, fmt.Errorf("fusion: no healthy tracks (%d quarantined, e.g. track %d: %s)",
+			len(tracks), reports[0].Index, reports[0].Reason)
 	}
 	cells := int(lengthM/spacingM) + 1
-	gs := make([]gridded, len(tracks))
-	for i, t := range tracks {
-		if t == nil || t.Len() == 0 {
-			return nil, fmt.Errorf("fusion: track %d is empty", i)
-		}
+	gs := make([]gridded, len(healthy))
+	for i, t := range healthy {
 		gs[i] = resample(t, spacingM, cells)
 	}
 	calibrateVariances(gs, cells)
@@ -147,7 +221,7 @@ func FuseTracks(tracks []*core.Track, spacingM, lengthM float64) (*Profile, erro
 		prof.GradeRad[c] = u * sumWeighted
 		prof.Var[c] = u
 	}
-	return prof, nil
+	return prof, reports, nil
 }
 
 // calibrateVariances rescales each gridded track's variance to its empirical

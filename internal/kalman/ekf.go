@@ -130,8 +130,25 @@ func (f *Filter) Predict() {
 // returned slice is a scratch buffer valid until the next Update; clone it to
 // retain.
 func (f *Filter) Update(z []float64) ([]float64, error) {
+	innov, _, err := f.UpdateGated(z, 0)
+	return innov, err
+}
+
+// UpdateGated is Update with innovation gating: if gate > 0 and the
+// normalized innovation squared νᵀS⁻¹ν exceeds the gate, the measurement is
+// rejected — the state and covariance are left untouched — and accepted is
+// false. Non-finite measurements are likewise rejected rather than erroring,
+// so a stream carrying NaN bursts degrades to prediction-only instead of
+// corrupting the filter. The returned innovation is a scratch buffer valid
+// until the next update; clone it to retain.
+func (f *Filter) UpdateGated(z []float64, gate float64) (innov []float64, accepted bool, err error) {
 	if len(z) != f.model.MeasDim {
-		return nil, fmt.Errorf("kalman: measurement dim %d, want %d", len(z), f.model.MeasDim)
+		return nil, false, fmt.Errorf("kalman: measurement dim %d, want %d", len(z), f.model.MeasDim)
+	}
+	for _, v := range z {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false, nil
+		}
 	}
 	s := &f.scr
 	h := f.model.MeasureJacobian(f.x)
@@ -149,7 +166,7 @@ func (f *Filter) Update(z []float64) ([]float64, error) {
 		// LU path below, without the factorization allocations.
 		s00 := s.mmS.At(0, 0)
 		if s00 == 0 || math.IsNaN(s00) {
-			return nil, fmt.Errorf("kalman: innovation covariance singular: %w", mat.ErrSingular)
+			return nil, false, fmt.Errorf("kalman: innovation covariance singular: %w", mat.ErrSingular)
 		}
 		if s.mmSInv == nil {
 			s.mmSInv = mat.New(1, 1)
@@ -160,7 +177,21 @@ func (f *Filter) Update(z []float64) ([]float64, error) {
 		var err error
 		sInv, err = mat.Inverse(s.mmS)
 		if err != nil {
-			return nil, fmt.Errorf("kalman: innovation covariance singular: %w", err)
+			return nil, false, fmt.Errorf("kalman: innovation covariance singular: %w", err)
+		}
+	}
+	if gate > 0 {
+		// νᵀ S⁻¹ ν — for the common 1-D case this is ν²/S.
+		var nis float64
+		for i := 0; i < f.model.MeasDim; i++ {
+			var row float64
+			for j := 0; j < f.model.MeasDim; j++ {
+				row += sInv.At(i, j) * s.innov[j]
+			}
+			nis += s.innov[i] * row
+		}
+		if nis > gate {
+			return s.innov, false, nil
 		}
 	}
 	// K = P Hᵀ S⁻¹
@@ -182,7 +213,26 @@ func (f *Filter) Update(z []float64) ([]float64, error) {
 	s.nnA = mat.MulInto(s.nnA, s.nmKR, s.mnKT)
 	s.nnD = mat.SumInto(s.nnD, s.nnD, s.nnA)
 	f.p = mat.SymmetrizeInto(f.p, s.nnD)
-	return s.innov, nil
+	return s.innov, true, nil
+}
+
+// Healthy reports whether the state and covariance are finite — the
+// divergence test callers run before trusting (or resetting) the filter.
+func (f *Filter) Healthy() bool {
+	for _, v := range f.x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	n := f.model.StateDim
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := f.p.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // State returns a copy of the current state estimate.

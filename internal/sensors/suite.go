@@ -303,11 +303,15 @@ func (tr *Trace) accelVelocity() []VelSample {
 	// Initialize from the first record's speedometer (a phone app would
 	// use any available speed hint at start).
 	v := tr.Records[0].Speedometer
+	if !finite(v) {
+		v = 0
+	}
 	for i, r := range tr.Records {
 		// Gravity compensation: vertical speed from barometer over the
-		// window divided by travelled distance gives sinθ̂.
+		// window divided by travelled distance gives sinθ̂. Skipped when a
+		// sensor fault leaves the window non-finite.
 		var gravComp float64
-		if i >= win {
+		if i >= win && finite(r.BaroAlt) && finite(tr.Records[i-win].BaroAlt) && finite(r.Speedometer) {
 			dz := r.BaroAlt - tr.Records[i-win].BaroAlt
 			// Scale by the odometer distance, not the dead-reckoned
 			// speed: dividing by the estimate itself creates a positive
@@ -317,17 +321,36 @@ func (tr *Trace) accelVelocity() []VelSample {
 			sinTheta := clampF(dz/ds, -0.25, 0.25)
 			gravComp = vehicle.Gravity * sinTheta
 		}
-		v += (r.AccelLong - gravComp) * dt
-		if r.GPSValid {
+		// NaN-burst bridging: coast on the previous estimate through ticks
+		// whose accelerometer reading is non-finite.
+		if finite(r.AccelLong) {
+			v += (r.AccelLong - gravComp) * dt
+		}
+		if r.GPSValid && finite(r.GPSSpeed) {
 			v += anchorGain * (r.GPSSpeed - v)
 		}
 		if v < 0 {
 			v = 0
 		}
+		if !finite(v) {
+			// Should be unreachable given the guards above, but a stuck
+			// dead-reckoner must never emit NaN: re-anchor to any finite
+			// speed hint.
+			switch {
+			case finite(r.Speedometer):
+				v = r.Speedometer
+			case r.GPSValid && finite(r.GPSSpeed):
+				v = r.GPSSpeed
+			default:
+				v = 0
+			}
+		}
 		out[i] = VelSample{T: r.T, V: v, Valid: true}
 	}
 	return out
 }
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // GPSPositions returns the valid GPS fixes as planar points with their times.
 func (tr *Trace) GPSPositions() (ts []float64, pts []geo.ENU) {
