@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cloudfuse -addr :8080 -drain 10s
+//	cloudfuse -addr :8080 -drain 10s -debug-addr 127.0.0.1:6060 -log-format text
 //
 // API:
 //
@@ -12,22 +12,36 @@
 //	GET  /v1/roads/{id}/profile
 //	GET  /v1/roads
 //
+// Observability (on -debug-addr, kept off the public listener; empty
+// disables):
+//
+//	GET /metrics        Prometheus text exposition (pipeline, fusion,
+//	                    kalman, cloud, and runtime metrics)
+//	GET /healthz        liveness probe with road/submission counts
+//	GET /debug/pprof/   net/http/pprof profiles
+//
+// Requests are logged one structured line each (-log-format text|json) with
+// method, route, status, bytes, duration, and the propagated X-Request-Id.
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to the -drain timeout before exiting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"roadgrade/internal/cloud"
+	"roadgrade/internal/obs"
 )
 
 func main() {
@@ -37,14 +51,63 @@ func main() {
 	}
 }
 
+// newLogger builds the process logger for the chosen -log-format.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text | json)", format)
+	}
+}
+
+// debugHandler builds the operational endpoint mux: metrics, health, pprof.
+func debugHandler(srv *cloud.Server, start time.Time) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(obs.Default))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		roads := srv.Roads()
+		submissions := 0
+		for _, rs := range roads {
+			submissions += rs.Submissions
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(start).Seconds(),
+			"roads":          len(roads),
+			"submissions":    submissions,
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:6060", "debug listen address for /metrics, /healthz and /debug/pprof (empty disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	fusionSrv := cloud.NewServer()
+	fusionSrv.Logger = logger
+	obs.RegisterRuntimeGauges(obs.Default)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           cloud.NewServer().Handler(),
+		Handler:           fusionSrv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -56,24 +119,53 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("cloudfuse listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		// pprof exposes heap contents and the health endpoint is
+		// unauthenticated, so the debug listener stays separate from the
+		// public API (bind it to loopback or a private interface).
+		dbgSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugHandler(fusionSrv, start),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listening", "addr", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server", "err", err)
+			}
+		}()
+	}
+
+	shutdownDebug := func(ctx context.Context) {
+		if dbgSrv != nil {
+			_ = dbgSrv.Shutdown(ctx)
+		}
+	}
+
 	select {
 	case err := <-errCh:
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		shutdownDebug(shutCtx)
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
 		return nil
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills hard
-		fmt.Println("cloudfuse: shutting down, draining in-flight requests")
+		logger.Info("shutting down, draining in-flight requests", "drain", *drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		shutdownDebug(shutCtx)
 		if err := srv.Shutdown(shutCtx); err != nil {
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
+		logger.Info("stopped", "uptime", time.Since(start))
 		return nil
 	}
 }

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	gradebench -exp all            # run every experiment (full workloads)
-//	gradebench -exp fig8a -seed 7  # one experiment, custom seed
-//	gradebench -list               # list experiment IDs
-//	gradebench -exp fig9b -quick   # shrunken workload (seconds, not minutes)
+//	gradebench -exp all             # run every experiment (full workloads)
+//	gradebench -exp fig8a -seed 7   # one experiment, custom seed
+//	gradebench -list                # list experiment IDs
+//	gradebench -exp fig9b -quick    # shrunken workload (seconds, not minutes)
+//	gradebench -exp fig9a -metrics  # dump the metrics registry after the run
+//	gradebench -exp fig9a -tracefile t.json  # span timeline for chrome://tracing
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"roadgrade/internal/experiment"
+	"roadgrade/internal/obs"
 )
 
 func main() {
@@ -26,6 +29,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gradebench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// listText renders the experiment IDs exactly as `-list` prints them.
+func listText() string {
+	return strings.Join(experiment.Names(), "\n")
+}
+
+// unknownExpError builds the error for an unrecognized -exp value: the
+// message carries the full valid-ID list, so the CLI exits non-zero with the
+// same catalogue `-list` prints.
+func unknownExpError(name string) error {
+	return fmt.Errorf("unknown experiment %q; valid experiment IDs:\n%s", name, listText())
 }
 
 func run() error {
@@ -37,12 +52,19 @@ func run() error {
 		format     = flag.String("format", "text", "output format: text | json")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metrics    = flag.Bool("metrics", false, "dump the metrics registry (Prometheus text) to stderr after the run")
+		traceFile  = flag.String("tracefile", "", "write the span timeline as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(experiment.Names(), "\n"))
+		fmt.Println(listText())
 		return nil
+	}
+	if *expName != "all" {
+		if _, ok := experiment.Registry()[*expName]; !ok {
+			return unknownExpError(*expName)
+		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -71,6 +93,12 @@ func run() error {
 	if *format != "text" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want text | json)", *format)
 	}
+	if *traceFile != "" {
+		obs.DefaultTracer.Enable()
+	}
+	if *metrics {
+		obs.RegisterRuntimeGauges(obs.Default)
+	}
 	opt := experiment.Options{Seed: *seed, Quick: *quick}
 	var tables []experiment.Table
 	if *expName == "all" {
@@ -85,6 +113,28 @@ func run() error {
 			return err
 		}
 		tables = []experiment.Table{t}
+	}
+	if *traceFile != "" {
+		obs.DefaultTracer.Disable()
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		if err := obs.DefaultTracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing trace file: %w", err)
+		}
+	}
+	// The metrics dump goes to stderr so table output on stdout stays
+	// byte-identical (and diffable) with or without -metrics.
+	if *metrics {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "== metrics ==")
+			_ = obs.Default.WritePrometheus(os.Stderr)
+		}()
 	}
 	if *format == "json" {
 		enc := json.NewEncoder(os.Stdout)

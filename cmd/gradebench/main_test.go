@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"roadgrade/internal/experiment"
+)
+
+// TestUnknownExperimentError: an unrecognized -exp must produce an error (the
+// CLI exits non-zero on any run() error) whose message carries every valid
+// experiment ID — the same catalogue -list prints.
+func TestUnknownExperimentError(t *testing.T) {
+	err := unknownExpError("fig99")
+	if err == nil {
+		t.Fatal("expected an error for an unknown experiment")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"fig99"`) {
+		t.Errorf("message does not name the bad ID: %q", msg)
+	}
+	names := experiment.Names()
+	if len(names) == 0 {
+		t.Fatal("no registered experiments")
+	}
+	for _, name := range names {
+		if !strings.Contains(msg, name) {
+			t.Errorf("message missing valid ID %q", name)
+		}
+	}
+	if !strings.Contains(msg, listText()) {
+		t.Errorf("message should embed the -list output verbatim")
+	}
+}

@@ -14,6 +14,15 @@ import (
 	"time"
 
 	"roadgrade/internal/fusion"
+	"roadgrade/internal/obs"
+)
+
+// Client-side instrumentation: retry pressure is the early-warning signal of
+// a struggling fusion service (or flaky phone uplink).
+var (
+	obsCliRetries  = obs.Default.Counter("cloud_client_retries_total")
+	obsCliFailures = obs.Default.Counter("cloud_client_request_failures_total")
+	obsCliBackoff  = obs.Default.Histogram("cloud_client_backoff_sleep_seconds", obs.LatencyBuckets)
 )
 
 // Client talks to a fusion Server over HTTP. Requests that fail with a
@@ -133,6 +142,8 @@ func (c *Client) do(ctx context.Context, build func(ctx context.Context) (*http.
 			case <-ctx.Done():
 				return nil, fmt.Errorf("cloud: giving up after %d attempts: %w", attempt, ctx.Err())
 			default:
+				obsCliRetries.Inc()
+				obsCliBackoff.Observe(wait.Seconds())
 				c.sleep(wait)
 			}
 		}
@@ -165,6 +176,7 @@ func (c *Client) do(ctx context.Context, build func(ctx context.Context) (*http.
 			break
 		}
 	}
+	obsCliFailures.Inc()
 	return nil, fmt.Errorf("cloud: request failed after %d attempts: %w", c.maxAttempts, lastErr)
 }
 

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -108,6 +109,11 @@ type Server struct {
 	// submission is dropped (the fused result keeps improving from fresh
 	// data). Default 64.
 	MaxSubmissionsPerRoad int
+
+	// Logger, when set, enables structured access logging (one line per
+	// request: method, route, status, bytes, duration, request id,
+	// idempotency-dup flag). Nil disables logging; metrics stay on.
+	Logger *slog.Logger
 }
 
 // NewServer returns an empty fusion server.
@@ -202,13 +208,15 @@ func (s *Server) Roads() []RoadStatus {
 	return out
 }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API: every route is instrumented (request
+// counters, latency histograms, access logs when Logger is set) and wrapped
+// with X-Request-Id propagation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/roads/{id}/profiles", s.handleSubmit)
-	mux.HandleFunc("GET /v1/roads/{id}/profile", s.handleFused)
-	mux.HandleFunc("GET /v1/roads", s.handleList)
-	return mux
+	mux.Handle("POST /v1/roads/{id}/profiles", s.instrument(routeSubmit, s.handleSubmit))
+	mux.Handle("GET /v1/roads/{id}/profile", s.instrument(routeFused, s.handleFused))
+	mux.Handle("GET /v1/roads", s.instrument(routeList, s.handleList))
+	return RequestID(mux)
 }
 
 // maxSubmitBodyBytes caps a submission request body; profiles are ~30 bytes
@@ -233,9 +241,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if _, err := s.SubmitIdempotent(id, r.Header.Get("Idempotency-Key"), p); err != nil {
+	dup, err := s.SubmitIdempotent(id, r.Header.Get("Idempotency-Key"), p)
+	if err != nil {
 		httpError(w, http.StatusConflict, err)
 		return
+	}
+	if dup {
+		markDuplicate(w)
 	}
 	w.WriteHeader(http.StatusAccepted)
 }

@@ -1,0 +1,136 @@
+package cloud
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"roadgrade/internal/obs"
+)
+
+// Server-side instrumentation: request counts by route and status, latency
+// histograms by route, and idempotency dedup hits. Latency histograms are
+// pre-created per route; the per-status request counters are resolved through
+// the registry at request time (status is only known after serving).
+var (
+	obsSrvLatency = map[string]*obs.Histogram{
+		routeSubmit: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeSubmit)),
+		routeFused:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeFused)),
+		routeList:   obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeList)),
+	}
+	obsSrvDupHits = obs.Default.Counter("cloud_idempotency_dup_total")
+)
+
+// Route names used as the route label and in access logs.
+const (
+	routeSubmit = "submit"
+	routeFused  = "fused"
+	routeList   = "list"
+)
+
+// requestIDKey carries the request id through the context.
+type requestIDKey struct{}
+
+// RequestIDHeader is the propagation header: an inbound id is reused, an
+// absent one is generated, and either way the id is echoed in the response
+// and attached to the request context for access logs.
+const RequestIDHeader = "X-Request-Id"
+
+// RequestID wraps next with X-Request-Id propagation.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > 128 {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// requestIDFrom returns the propagated request id, if any.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures what the handler wrote so the middleware can meter
+// and log it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status    int
+	bytes     int
+	duplicate bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += n
+	return n, err
+}
+
+// markDuplicate flags the in-flight response as an idempotency-dedup hit so
+// the access log and metrics record it. w must be the handler's own writer
+// (the instrument wrapper's recorder).
+func markDuplicate(w http.ResponseWriter) {
+	if sr, ok := w.(*statusRecorder); ok {
+		sr.duplicate = true
+	}
+}
+
+// instrument wraps one route's handler with metrics and (when s.Logger is
+// set) structured access logging: method, route, status, bytes, duration,
+// request id, and whether the request was an idempotent replay.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		obs.Default.Counter("cloud_server_requests_total",
+			obs.L("route", route), obs.L("status", strconv.Itoa(rec.status))).Inc()
+		if hist, ok := obsSrvLatency[route]; ok {
+			hist.Observe(dur.Seconds())
+		}
+		if rec.duplicate {
+			obsSrvDupHits.Inc()
+		}
+		if s.Logger != nil {
+			s.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int("bytes", rec.bytes),
+				slog.Duration("duration", dur),
+				slog.String("request_id", requestIDFrom(r.Context())),
+				slog.Bool("idempotency_dup", rec.duplicate),
+			)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// accessLine is the decoded form of one JSON access-log record.
+type accessLine struct {
+	Msg            string  `json:"msg"`
+	Method         string  `json:"method"`
+	Route          string  `json:"route"`
+	Path           string  `json:"path"`
+	Status         int     `json:"status"`
+	Bytes          int     `json:"bytes"`
+	RequestID      string  `json:"request_id"`
+	IdempotencyDup bool    `json:"idempotency_dup"`
+	Duration       float64 `json:"duration"` // nanoseconds (slog renders time.Duration numerically)
+}
+
+func decodeAccessLog(t *testing.T, buf *bytes.Buffer) []accessLine {
+	t.Helper()
+	var out []accessLine
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var al accessLine
+		if err := json.Unmarshal([]byte(line), &al); err != nil {
+			t.Fatalf("bad log line %q: %v", line, err)
+		}
+		out = append(out, al)
+	}
+	return out
+}
+
+func TestAccessLogAndRequestID(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := NewServer()
+	srv.Logger = slog.New(slog.NewJSONHandler(&logBuf, nil))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"spacing_m":5,"grade_rad":[0.01,0.02],"var":[0.001,0.001]}`
+	post := func(reqID string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/roads/r1/profiles", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "k-1")
+		if reqID != "" {
+			req.Header.Set(RequestIDHeader, reqID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// First submission: accepted, request id generated.
+	resp := post("")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got == "" {
+		t.Error("no X-Request-Id generated on response")
+	}
+
+	// Retry with the same idempotency key and a caller-supplied request id:
+	// still 202, id echoed back, flagged as a duplicate in the log.
+	resp = post("phone-42")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("duplicate submit: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "phone-42" {
+		t.Errorf("X-Request-Id = %q, want echoed phone-42", got)
+	}
+
+	// A fetch too, so the log covers a second route.
+	fresp, err := ts.Client().Get(ts.URL + "/v1/roads/r1/profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+
+	lines := decodeAccessLog(t, &logBuf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d access-log lines, want 3", len(lines))
+	}
+	first, dup, fetch := lines[0], lines[1], lines[2]
+	if first.Method != "POST" || first.Route != routeSubmit || first.Status != http.StatusAccepted {
+		t.Errorf("first line = %+v", first)
+	}
+	if first.IdempotencyDup {
+		t.Error("first submission flagged as duplicate")
+	}
+	if first.RequestID == "" || first.Duration <= 0 {
+		t.Errorf("first line missing request_id/duration: %+v", first)
+	}
+	if !dup.IdempotencyDup {
+		t.Errorf("retry not flagged as idempotency dup: %+v", dup)
+	}
+	if dup.RequestID != "phone-42" {
+		t.Errorf("retry request_id = %q, want phone-42", dup.RequestID)
+	}
+	if fetch.Method != "GET" || fetch.Route != routeFused || fetch.Status != http.StatusOK {
+		t.Errorf("fetch line = %+v", fetch)
+	}
+	if fetch.Bytes == 0 {
+		t.Errorf("fetch logged zero response bytes: %+v", fetch)
+	}
+}
+
+// TestHandlerNoLogger: metrics/request-id middleware must be nil-safe when no
+// logger is configured (the default for library users and existing tests).
+func TestHandlerNoLogger(t *testing.T) {
+	ts := httptest.NewServer(NewServer().Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/roads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get(RequestIDHeader) == "" {
+		t.Error("request id missing without logger")
+	}
+}

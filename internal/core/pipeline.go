@@ -4,14 +4,32 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"roadgrade/internal/frame"
 	"roadgrade/internal/geo"
 	"roadgrade/internal/kalman"
 	"roadgrade/internal/lanechange"
 	"roadgrade/internal/mat"
+	"roadgrade/internal/obs"
 	"roadgrade/internal/sensors"
 	"roadgrade/internal/vehicle"
+)
+
+// Pipeline instrumentation. Handles are package vars so the per-track and
+// per-tick paths only touch atomics; spans are recorded per stage (never per
+// tick) and are no-ops unless a collector enabled obs.DefaultTracer.
+var (
+	obsAdjustSeconds = obs.Default.Histogram("pipeline_adjust_seconds", obs.LatencyBuckets)
+	obsTrackSeconds  = obs.Default.Histogram("pipeline_estimate_track_seconds", obs.LatencyBuckets)
+
+	obsBatchRejected = obs.Default.Counter("pipeline_gate_rejected_total", obs.L("mode", "batch"))
+	obsBatchResets   = obs.Default.Counter("pipeline_filter_resets_total", obs.L("mode", "batch"))
+	obsBatchBridged  = obs.Default.Counter("pipeline_nonfinite_bridged_total", obs.L("mode", "batch"))
+
+	obsStreamRejected = obs.Default.Counter("pipeline_gate_rejected_total", obs.L("mode", "streaming"))
+	obsStreamResets   = obs.Default.Counter("pipeline_filter_resets_total", obs.L("mode", "streaming"))
+	obsStreamBridged  = obs.Default.Counter("pipeline_nonfinite_bridged_total", obs.L("mode", "streaming"))
 )
 
 // Track is a road-gradient estimation track: one EKF pass over a trace using
@@ -160,6 +178,9 @@ type Adjusted struct {
 // Adjust runs the data-adjustment stage: derive w_steer from the gyroscope
 // and map geometry, then detect lane changes.
 func (p *Pipeline) Adjust(trace *sensors.Trace, line *geo.Polyline) (*Adjusted, error) {
+	sp := obs.DefaultTracer.Start("pipeline.adjust", "pipeline")
+	defer sp.End()
+	start := time.Now()
 	if trace == nil || len(trace.Records) == 0 {
 		return nil, errors.New("core: empty trace")
 	}
@@ -179,8 +200,7 @@ func (p *Pipeline) Adjust(trace *sensors.Trace, line *geo.Polyline) (*Adjusted, 
 	// Gap bridging: NaN/Inf readings (a crashed sensor HAL) are replaced by
 	// the last finite value so downstream detection and localization see a
 	// continuous, finite signal.
-	bridgeNonFinite(gyro)
-	bridgeNonFinite(speed)
+	obsBatchBridged.Add(uint64(bridgeNonFinite(gyro) + bridgeNonFinite(speed)))
 	steer, err := est.SteerRates(trace.DT, gyro, speed)
 	if err != nil {
 		return nil, fmt.Errorf("core: deriving steer rates: %w", err)
@@ -190,17 +210,21 @@ func (p *Pipeline) Adjust(trace *sensors.Trace, line *geo.Polyline) (*Adjusted, 
 	if err != nil {
 		return nil, fmt.Errorf("core: lane change detection: %w", err)
 	}
+	spLoc := obs.DefaultTracer.Start("pipeline.localize", "pipeline")
+	s := localize(trace, speed, line)
+	spLoc.End()
+	obsAdjustSeconds.Observe(time.Since(start).Seconds())
 	return &Adjusted{
 		SteerRates: steer,
 		Detections: detections,
-		S:          localize(trace, speed, line),
+		S:          s,
 	}, nil
 }
 
 // bridgeNonFinite replaces NaN/Inf entries with the nearest preceding finite
 // value (or the first finite value for a non-finite prefix; zeros if the
-// whole series is bad).
-func bridgeNonFinite(xs []float64) {
+// whole series is bad). It returns the number of entries bridged.
+func bridgeNonFinite(xs []float64) int {
 	first := math.NaN()
 	for _, x := range xs {
 		if isFinite(x) {
@@ -212,16 +236,19 @@ func bridgeNonFinite(xs []float64) {
 		for i := range xs {
 			xs[i] = 0
 		}
-		return
+		return len(xs)
 	}
+	bridged := 0
 	last := first
 	for i, x := range xs {
 		if isFinite(x) {
 			last = x
 		} else {
 			xs[i] = last
+			bridged++
 		}
 	}
+	return bridged
 }
 
 func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
@@ -256,6 +283,9 @@ func localize(trace *sensors.Trace, speeds []float64, line *geo.Polyline) []floa
 // EstimateTrack runs the EKF over one velocity source, applying the Eq. (2)
 // correction inside detected lane changes (unless disabled).
 func (p *Pipeline) EstimateTrack(trace *sensors.Trace, adj *Adjusted, src sensors.VelocitySource) (*Track, error) {
+	sp := obs.DefaultTracer.Start("pipeline.estimate_track", "pipeline", obs.L("source", src.String()))
+	defer sp.End()
+	start := time.Now()
 	if trace == nil || len(trace.Records) == 0 {
 		return nil, errors.New("core: empty trace")
 	}
@@ -348,6 +378,9 @@ func (p *Pipeline) EstimateTrack(trace *sensors.Trace, adj *Adjusted, src sensor
 			track.Var[i] *= scale
 		}
 	}
+	obsBatchRejected.Add(uint64(rejected))
+	obsBatchResets.Add(uint64(resets))
+	obsTrackSeconds.Observe(time.Since(start).Seconds())
 	return track, nil
 }
 
@@ -431,6 +464,8 @@ func (p *Pipeline) diverged(f *kalman.Filter) bool {
 // EstimateAll produces the four velocity-source tracks of §III-C3 from one
 // trace.
 func (p *Pipeline) EstimateAll(trace *sensors.Trace, line *geo.Polyline) ([]*Track, error) {
+	sp := obs.DefaultTracer.Start("pipeline.estimate_all", "pipeline")
+	defer sp.End()
 	adj, err := p.Adjust(trace, line)
 	if err != nil {
 		return nil, err

@@ -110,9 +110,13 @@ func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
 	}
 	if isFinite(rec.AccelLong) {
 		st.lastAccel = rec.AccelLong
+	} else {
+		obsStreamBridged.Inc()
 	}
 	if isFinite(rec.Speedometer) {
 		st.lastSpeedo = rec.Speedometer
+	} else {
+		obsStreamBridged.Inc()
 	}
 	if !st.started {
 		v0 := v
@@ -156,6 +160,7 @@ func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
 		}
 		if !accepted {
 			st.rejected++
+			obsStreamRejected.Inc()
 		}
 	}
 	// Divergence detection: a non-finite or implausible state re-initializes
@@ -171,6 +176,7 @@ func (st *Streaming) Push(rec sensors.Record) (Estimate, error) {
 			return Estimate{}, fmt.Errorf("core: streaming divergence reset at t=%.2f: %w", rec.T, err)
 		}
 		st.resets++
+		obsStreamResets.Inc()
 	}
 	st.t = rec.T
 	steerGyro := rec.GyroYaw

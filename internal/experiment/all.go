@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"sort"
+
+	"roadgrade/internal/obs"
 )
 
 // Runner is one experiment entry point.
@@ -52,12 +54,16 @@ func Names() []string {
 	return out
 }
 
-// Run executes one experiment by ID.
+// Run executes one experiment by ID. Each run is recorded as a span, so a
+// `gradebench -tracefile` timeline shows per-experiment walls with the
+// pipeline and fusion stages nested inside.
 func Run(name string, opt Options) (Table, error) {
 	r, ok := Registry()[name]
 	if !ok {
 		return Table{}, fmt.Errorf("experiment: unknown experiment %q (known: %v)", name, Names())
 	}
+	sp := obs.DefaultTracer.Start("experiment:"+name, "experiment")
+	defer sp.End()
 	return r(opt)
 }
 

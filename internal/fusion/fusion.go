@@ -8,9 +8,38 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"roadgrade/internal/core"
+	"roadgrade/internal/obs"
 	"roadgrade/internal/sensors"
+)
+
+// Fusion instrumentation: how many tracks survived to be fused, how many
+// were quarantined (broken down by the CheckTrack verdict category), and how
+// long a fuse takes. Quarantine counters are pre-created per category so the
+// fuse path never builds label strings.
+var (
+	obsFuseSeconds = obs.Default.Histogram("fusion_fuse_seconds", obs.LatencyBuckets)
+	obsFusedTracks = obs.Default.Counter("fusion_tracks_fused_total")
+
+	obsQuarantined = map[string]*obs.Counter{
+		reasonEmpty:       obs.Default.Counter("fusion_tracks_quarantined_total", obs.L("reason", reasonEmpty)),
+		reasonLayout:      obs.Default.Counter("fusion_tracks_quarantined_total", obs.L("reason", reasonLayout)),
+		reasonNonFinite:   obs.Default.Counter("fusion_tracks_quarantined_total", obs.L("reason", reasonNonFinite)),
+		reasonVariance:    obs.Default.Counter("fusion_tracks_quarantined_total", obs.L("reason", reasonVariance)),
+		reasonImplausible: obs.Default.Counter("fusion_tracks_quarantined_total", obs.L("reason", reasonImplausible)),
+	}
+)
+
+// Quarantine verdict categories (the reason label of
+// fusion_tracks_quarantined_total).
+const (
+	reasonEmpty       = "empty"
+	reasonLayout      = "layout"
+	reasonNonFinite   = "non_finite"
+	reasonVariance    = "bad_variance"
+	reasonImplausible = "implausible_grade"
 )
 
 // Profile is a fused road-gradient profile on a regular arc-length grid.
@@ -102,31 +131,38 @@ type TrackReport struct {
 // quarantined: empty or inconsistent layout, non-finite samples, non-positive
 // variance, or an implausible grade profile.
 func CheckTrack(t *core.Track) error {
+	_, err := checkTrackReason(t)
+	return err
+}
+
+// checkTrackReason is CheckTrack plus the coarse verdict category used as the
+// quarantine metric's reason label.
+func checkTrackReason(t *core.Track) (string, error) {
 	if t == nil || t.Len() == 0 {
-		return errors.New("empty track")
+		return reasonEmpty, errors.New("empty track")
 	}
 	n := t.Len()
 	if len(t.S) != n || len(t.GradeRad) != n || len(t.Var) != n {
-		return fmt.Errorf("inconsistent lengths T=%d S=%d grade=%d var=%d",
+		return reasonLayout, fmt.Errorf("inconsistent lengths T=%d S=%d grade=%d var=%d",
 			n, len(t.S), len(t.GradeRad), len(t.Var))
 	}
 	implausible := 0
 	for i := 0; i < n; i++ {
 		if !finite(t.S[i]) || !finite(t.GradeRad[i]) || !finite(t.Var[i]) {
-			return fmt.Errorf("non-finite sample at %d", i)
+			return reasonNonFinite, fmt.Errorf("non-finite sample at %d", i)
 		}
 		if t.Var[i] <= 0 {
-			return fmt.Errorf("non-positive variance %v at %d", t.Var[i], i)
+			return reasonVariance, fmt.Errorf("non-positive variance %v at %d", t.Var[i], i)
 		}
 		if math.Abs(t.GradeRad[i]) > maxPlausibleGradeRad {
 			implausible++
 		}
 	}
 	if frac := float64(implausible) / float64(n); frac > 0.02 {
-		return fmt.Errorf("implausible grade (|θ| > %.2f rad) on %.0f%% of samples",
+		return reasonImplausible, fmt.Errorf("implausible grade (|θ| > %.2f rad) on %.0f%% of samples",
 			maxPlausibleGradeRad, frac*100)
 	}
-	return nil
+	return "", nil
 }
 
 func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
@@ -159,6 +195,9 @@ func FuseTracks(tracks []*core.Track, spacingM, lengthM float64) (*Profile, erro
 // FuseTracksReport is FuseTracks returning the per-track health verdicts
 // alongside the fused profile.
 func FuseTracksReport(tracks []*core.Track, spacingM, lengthM float64) (*Profile, []TrackReport, error) {
+	sp := obs.DefaultTracer.Start("fusion.fuse_tracks", "fusion")
+	defer sp.End()
+	start := time.Now()
 	if len(tracks) == 0 {
 		return nil, nil, errors.New("fusion: no tracks")
 	}
@@ -175,13 +214,15 @@ func FuseTracksReport(tracks []*core.Track, spacingM, lengthM float64) (*Profile
 		if t != nil {
 			reports[i].Source = t.Source
 		}
-		if err := CheckTrack(t); err != nil {
+		if category, err := checkTrackReason(t); err != nil {
 			reports[i].Quarantined = true
 			reports[i].Reason = err.Error()
+			obsQuarantined[category].Inc()
 			continue
 		}
 		healthy = append(healthy, t)
 	}
+	obsFusedTracks.Add(uint64(len(healthy)))
 	if len(healthy) == 0 {
 		return nil, reports, fmt.Errorf("fusion: no healthy tracks (%d quarantined, e.g. track %d: %s)",
 			len(tracks), reports[0].Index, reports[0].Reason)
@@ -221,6 +262,7 @@ func FuseTracksReport(tracks []*core.Track, spacingM, lengthM float64) (*Profile
 		prof.GradeRad[c] = u * sumWeighted
 		prof.Var[c] = u
 	}
+	obsFuseSeconds.Observe(time.Since(start).Seconds())
 	return prof, reports, nil
 }
 

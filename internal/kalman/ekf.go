@@ -11,7 +11,14 @@ import (
 	"math"
 
 	"roadgrade/internal/mat"
+	"roadgrade/internal/obs"
 )
+
+// nisHist is the distribution of normalized innovation squared across every
+// gated update in the process — the filter-consistency signal (NIS ≈ 1 when
+// healthy; mass near the gate means the model disagrees with the sensors).
+// Observing is three uncontended atomics, cheap enough for the per-tick path.
+var nisHist = obs.Default.Histogram("kalman_nis", obs.NISBuckets)
 
 // Model describes a discrete-time nonlinear system
 //
@@ -190,6 +197,7 @@ func (f *Filter) UpdateGated(z []float64, gate float64) (innov []float64, accept
 			}
 			nis += s.innov[i] * row
 		}
+		nisHist.Observe(nis)
 		if nis > gate {
 			return s.innov, false, nil
 		}

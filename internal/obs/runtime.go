@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"runtime/metrics"
+)
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// runtimeSamples maps exported gauge names to runtime/metrics sample names.
+// Heap, goroutine count, and GC activity are the signals that matter when a
+// fusion node starts struggling under load.
+var runtimeSamples = []struct {
+	gauge  string
+	sample string
+}{
+	{"go_heap_objects_bytes", "/memory/classes/heap/objects:bytes"},
+	{"go_memory_total_bytes", "/memory/classes/total:bytes"},
+	{"go_goroutines", "/sched/goroutines:goroutines"},
+	{"go_gc_cycles_total", "/gc/cycles/total:gc-cycles"},
+}
+
+// RegisterRuntimeGauges registers process gauges sourced from runtime/metrics
+// on r: heap bytes, total memory, goroutine count, GC cycle count, and an
+// approximate total GC pause time. Values are read at exposition time, so a
+// scrape always sees current state.
+func RegisterRuntimeGauges(r *Registry) {
+	for _, rs := range runtimeSamples {
+		sample := rs.sample
+		r.GaugeFunc(rs.gauge, func() float64 {
+			s := []metrics.Sample{{Name: sample}}
+			metrics.Read(s)
+			switch s[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(s[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return s[0].Value.Float64()
+			}
+			return 0
+		})
+	}
+	r.GaugeFunc("go_gc_pause_seconds_total", func() float64 {
+		s := []metrics.Sample{{Name: "/gc/pauses:seconds"}}
+		metrics.Read(s)
+		if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+			return 0
+		}
+		h := s[0].Value.Float64Histogram()
+		if h == nil {
+			return 0
+		}
+		// Approximate the pause total from bucket midpoints; the runtime
+		// exposes pauses only as a distribution. Outer bucket edges are
+		// ±Inf — fall back to the finite edge there.
+		var total float64
+		for i, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			var mid float64
+			switch {
+			case isFinite(lo) && isFinite(hi):
+				mid = lo + (hi-lo)/2
+			case isFinite(lo):
+				mid = lo
+			case isFinite(hi):
+				mid = hi
+			default:
+				continue
+			}
+			total += float64(n) * mid
+		}
+		return total
+	})
+}
+
+// MetricsHandler serves r in the Prometheus text exposition format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

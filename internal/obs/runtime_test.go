@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeGaugesAndHandler(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	r.Counter("app_things_total").Inc()
+
+	srv := httptest.NewServer(MetricsHandler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"go_goroutines", "go_heap_objects_bytes", "go_memory_total_bytes",
+		"go_gc_cycles_total", "go_gc_pause_seconds_total", "app_things_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	// A live process has at least one goroutine; the gauge must be > 0.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "go_goroutines ") {
+			if strings.TrimPrefix(line, "go_goroutines ") == "0" {
+				t.Errorf("go_goroutines = 0")
+			}
+		}
+	}
+}

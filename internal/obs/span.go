@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects spans and exports them as Chrome trace_event JSON
+// (chrome://tracing, Perfetto, `perfetto.dev/#!/viewer`). It is disabled by
+// default: Start on a disabled (or nil) tracer returns a no-op Span without
+// allocating, so always-on instrumentation costs one atomic load per call
+// site until a collector opts in with Enable.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	base   time.Time
+	events []SpanEvent
+}
+
+// SpanEvent is one completed span.
+type SpanEvent struct {
+	// Name identifies the operation, Cat its subsystem (pipeline, fusion,
+	// cloud, experiment) for trace-viewer filtering.
+	Name string
+	Cat  string
+	// StartUS/DurUS are microseconds relative to Enable.
+	StartUS float64
+	DurUS   float64
+	// Args are optional key/value annotations.
+	Args []Label
+}
+
+// DefaultTracer is the process-wide tracer all built-in spans report to.
+var DefaultTracer = &Tracer{}
+
+// Enable starts collection, resetting the clock and any prior events.
+func (t *Tracer) Enable() {
+	t.mu.Lock()
+	t.base = time.Now()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+	t.enabled.Store(true)
+}
+
+// Disable stops collection; already-recorded events remain exportable.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether spans are being collected.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Span is an in-flight operation; End records it. The zero Span (from a
+// disabled tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	start time.Time
+	args  []Label
+}
+
+// Start opens a span. args annotate the span in the exported trace; they are
+// only materialized when the tracer is enabled.
+func (t *Tracer) Start(name, cat string, args ...Label) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	var as []Label
+	if len(args) > 0 {
+		as = append(as, args...)
+	}
+	return Span{t: t, name: name, cat: cat, start: time.Now(), args: as}
+}
+
+// End completes the span and records it.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := time.Now()
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.t.events = append(s.t.events, SpanEvent{
+		Name:    s.name,
+		Cat:     s.cat,
+		StartUS: float64(s.start.Sub(s.t.base)) / float64(time.Microsecond),
+		DurUS:   float64(end.Sub(s.start)) / float64(time.Microsecond),
+		Args:    s.args,
+	})
+}
+
+// Events returns a snapshot of the recorded spans in completion order.
+func (t *Tracer) Events() []SpanEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanEvent(nil), t.events...)
+}
+
+// chromeEvent is the trace_event wire form: a complete ("ph":"X") event with
+// microsecond timestamps, as consumed by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the format.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace_event JSON. An
+// empty trace is valid and yields an empty traceEvents array; a nil tracer is
+// a programmer error.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	events := t.Events()
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayUnit: "ms"}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: "X",
+			TS: e.StartUS, Dur: e.DurUS, PID: 1, TID: 1,
+		}
+		if len(e.Args) > 0 {
+			ce.Args = make(map[string]string, len(e.Args))
+			for _, a := range e.Args {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTracerDisabledNoop verifies that spans on a disabled tracer record
+// nothing and that the zero Span is safe to End.
+func TestTracerDisabledNoop(t *testing.T) {
+	tr := &Tracer{}
+	sp := tr.Start("work", "test")
+	sp.End()
+	if n := len(tr.Events()); n != 0 {
+		t.Errorf("disabled tracer recorded %d events", n)
+	}
+	Span{}.End() // zero value must not panic
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := &Tracer{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("work", "bench").End()
+	}
+}
+
+// TestChromeTraceRoundTrip exports spans and re-parses the JSON, checking the
+// trace_event schema: object container with traceEvents, complete events
+// (ph "X") with non-negative microsecond timestamps and the recorded args.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable()
+	outer := tr.Start("experiment:fig9a", "experiment")
+	inner := tr.Start("pipeline.adjust", "pipeline", L("source", "gps"))
+	inner.End()
+	outer.End()
+	tr.Disable()
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("re-parsing trace JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(parsed.TraceEvents))
+	}
+	// Spans are recorded in completion order: inner first.
+	ev0, ev1 := parsed.TraceEvents[0], parsed.TraceEvents[1]
+	if ev0.Name != "pipeline.adjust" || ev1.Name != "experiment:fig9a" {
+		t.Errorf("names = %q, %q", ev0.Name, ev1.Name)
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("%s: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("%s: negative ts/dur %v/%v", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.PID == 0 || ev.TID == 0 {
+			t.Errorf("%s: missing pid/tid", ev.Name)
+		}
+	}
+	if ev0.Args["source"] != "gps" {
+		t.Errorf("inner args = %v, want source=gps", ev0.Args)
+	}
+	// The outer span must fully contain the inner one.
+	if ev1.TS > ev0.TS || ev1.TS+ev1.Dur < ev0.TS+ev0.Dur {
+		t.Errorf("outer [%v,%v] does not contain inner [%v,%v]",
+			ev1.TS, ev1.TS+ev1.Dur, ev0.TS, ev0.TS+ev0.Dur)
+	}
+}
+
+// TestChromeTraceEmpty: an enabled-but-idle tracer exports a valid empty
+// trace, and a nil tracer is rejected as a programmer error.
+func TestChromeTraceEmpty(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable()
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatalf("empty trace should serialize: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Errorf("empty trace = %q", sb.String())
+	}
+	var nilTr *Tracer
+	if err := nilTr.WriteChromeTrace(&sb); err == nil {
+		t.Error("nil tracer should error")
+	}
+}
+
+// TestEnableResets: re-enabling clears prior events so back-to-back runs do
+// not bleed into each other's trace files.
+func TestEnableResets(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable()
+	tr.Start("a", "t").End()
+	tr.Enable()
+	tr.Start("b", "t").End()
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Name != "b" {
+		t.Errorf("events after re-enable = %+v, want just b", evs)
+	}
+}

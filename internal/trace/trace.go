@@ -24,10 +24,17 @@ var csvHeader = []string{
 	"gps_valid", "gps_e", "gps_n", "gps_alt", "gps_speed",
 }
 
-// WriteCSV writes the trace's sensor records (not ground truth) as CSV.
+// ErrNilTrace marks a nil *sensors.Trace passed to a writer — a programmer
+// error, distinct from a valid empty trace (zero records), which writes the
+// header/envelope only.
+var ErrNilTrace = errors.New("trace: nil trace")
+
+// WriteCSV writes the trace's sensor records (not ground truth) as CSV. A
+// nil trace returns ErrNilTrace; an empty (zero-record) trace is a valid
+// no-op that writes the header row only.
 func WriteCSV(w io.Writer, tr *sensors.Trace) error {
-	if tr == nil || len(tr.Records) == 0 {
-		return errors.New("trace: empty trace")
+	if tr == nil {
+		return ErrNilTrace
 	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -135,13 +142,18 @@ type jsonTrace struct {
 }
 
 // WriteJSON writes the trace as JSON (records only; ground truth is a
-// simulator artifact and is not serialized).
+// simulator artifact and is not serialized). A nil trace returns ErrNilTrace;
+// an empty (zero-record) trace is valid and encodes an empty records array.
 func WriteJSON(w io.Writer, tr *sensors.Trace) error {
-	if tr == nil || len(tr.Records) == 0 {
-		return errors.New("trace: empty trace")
+	if tr == nil {
+		return ErrNilTrace
+	}
+	records := tr.Records
+	if records == nil {
+		records = []sensors.Record{}
 	}
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(jsonTrace{DT: tr.DT, Records: tr.Records}); err != nil {
+	if err := enc.Encode(jsonTrace{DT: tr.DT, Records: records}); err != nil {
 		return fmt.Errorf("trace: encoding JSON: %w", err)
 	}
 	return nil

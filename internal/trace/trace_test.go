@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -75,16 +77,43 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
-func TestWriteErrors(t *testing.T) {
+// TestWriteNilTrace: nil is a programmer error, reported as ErrNilTrace by
+// both writers.
+func TestWriteNilTrace(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteCSV(&buf, nil); err == nil {
-		t.Error("nil trace should error")
+	if err := WriteCSV(&buf, nil); !errors.Is(err, ErrNilTrace) {
+		t.Errorf("WriteCSV(nil) = %v, want ErrNilTrace", err)
 	}
-	if err := WriteCSV(&buf, &sensors.Trace{}); err == nil {
-		t.Error("empty trace should error")
+	if err := WriteJSON(&buf, nil); !errors.Is(err, ErrNilTrace) {
+		t.Errorf("WriteJSON(nil) = %v, want ErrNilTrace", err)
 	}
-	if err := WriteJSON(&buf, nil); err == nil {
-		t.Error("nil trace should error")
+}
+
+// TestWriteEmptyTrace: a trace with zero records is a valid no-op — CSV
+// writes the header row only, JSON an empty records array — so an archiving
+// job that captured nothing still produces well-formed output.
+func TestWriteEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &sensors.Trace{}); err != nil {
+		t.Fatalf("WriteCSV(empty) = %v, want header-only success", err)
+	}
+	if got, want := buf.String(), strings.Join(csvHeader, ",")+"\n"; got != want {
+		t.Errorf("empty CSV = %q, want header only %q", got, want)
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, &sensors.Trace{DT: 0.05}); err != nil {
+		t.Fatalf("WriteJSON(empty) = %v, want success", err)
+	}
+	var round struct {
+		DT      float64           `json:"dt"`
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("re-parsing empty JSON trace: %v", err)
+	}
+	if round.DT != 0.05 || round.Records == nil || len(round.Records) != 0 {
+		t.Errorf("empty JSON trace = %+v, want dt preserved and records []", round)
 	}
 }
 

@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate: vet, build, and the full test suite under the
-# race detector. CI and pre-merge checks run exactly this script.
+# Tier-1 verification gate: formatting, vet, build, and the full test suite
+# under the race detector. CI and pre-merge checks run exactly this script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
