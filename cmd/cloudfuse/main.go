@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cloudfuse -addr :8080 -drain 10s -debug-addr 127.0.0.1:6060 -log-format text
+//	cloudfuse -addr :8080 -drain 10s -debug-addr 127.0.0.1:6060 -log-format text -shards 32
 //
 // API:
 //
@@ -94,6 +94,7 @@ func run() error {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:6060", "debug listen address for /metrics, /healthz and /debug/pprof (empty disables)")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	shards := flag.Int("shards", 0, "store shard count, rounded up to a power of two (0: default 32)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -101,7 +102,12 @@ func run() error {
 		return err
 	}
 	start := time.Now()
-	fusionSrv := cloud.NewServer()
+	var fusionSrv *cloud.Server
+	if *shards > 0 {
+		fusionSrv = cloud.NewServerWithShards(*shards)
+	} else {
+		fusionSrv = cloud.NewServer()
+	}
 	fusionSrv.Logger = logger
 	obs.RegisterRuntimeGauges(obs.Default)
 

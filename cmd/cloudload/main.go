@@ -1,0 +1,328 @@
+// Command cloudload is the serving load harness for the cloud fusion
+// service: it drives a configurable mix of concurrent profile submissions
+// and fused-profile fetches against either an in-process server (the
+// default; measures the serving architecture itself) or a remote deployment
+// (-addr), and reports throughput plus p50/p95/p99 latency per operation
+// from internal/obs histograms.
+//
+// Usage:
+//
+//	cloudload                                # in-process, 8 clients, 90% reads
+//	cloudload -clients 32 -read-frac 0.5     # heavier, balanced mix
+//	cloudload -addr http://host:8080         # drive a remote cloudfuse
+//	cloudload -roads 64 -prefill 64 -ops 100000 -metrics
+//
+// The workload is deterministic per -seed: every worker derives its own RNG,
+// so two runs issue the same operation sequence (timings differ, of course).
+// Each road is prefilled with -prefill submissions before measurement, so
+// fetches exercise the steady-state window the acceptance experiments use
+// (64 submissions/road by default).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadgrade/internal/cloud"
+	"roadgrade/internal/fusion"
+	"roadgrade/internal/obs"
+)
+
+func main() {
+	cfg, metricsDump, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cloudload: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cloudload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	if metricsDump {
+		fmt.Fprintln(os.Stderr, "== metrics ==")
+		_ = rep.registry.WritePrometheus(os.Stderr)
+	}
+}
+
+// config is one load run's shape.
+type config struct {
+	addr     string        // remote base URL; empty runs an in-process server
+	clients  int           // concurrent workers
+	roads    int           // distinct road ids in play
+	cells    int           // cells per submitted profile
+	prefill  int           // submissions per road before measurement
+	readFrac float64       // fraction of measured ops that are fetches
+	ops      int           // total measured operations (ignored if duration > 0)
+	duration time.Duration // measure for a fixed wall time instead
+	seed     int64
+	conns    int // transport MaxIdleConnsPerHost (0: clients)
+	shards   int // in-process server shard count
+	retries  int // client attempt budget (1 = no retries, measure the server)
+}
+
+func parseFlags(args []string) (config, bool, error) {
+	fs := flag.NewFlagSet("cloudload", flag.ContinueOnError)
+	cfg := config{}
+	fs.StringVar(&cfg.addr, "addr", "", "base URL of a running service (empty: in-process server)")
+	fs.IntVar(&cfg.clients, "clients", 8, "concurrent client workers")
+	fs.IntVar(&cfg.roads, "roads", 16, "distinct roads")
+	fs.IntVar(&cfg.cells, "cells", 200, "cells per submitted profile (200 = 1 km at 5 m)")
+	fs.IntVar(&cfg.prefill, "prefill", 64, "submissions per road before measurement")
+	fs.Float64Var(&cfg.readFrac, "read-frac", 0.9, "fraction of measured ops that are fetches")
+	fs.IntVar(&cfg.ops, "ops", 20000, "total measured operations")
+	fs.DurationVar(&cfg.duration, "duration", 0, "measure for a fixed duration instead of -ops")
+	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed (operation mix is deterministic per seed)")
+	fs.IntVar(&cfg.conns, "conns", 0, "transport MaxIdleConnsPerHost (0: match -clients)")
+	fs.IntVar(&cfg.shards, "shards", 0, "in-process server shards (0: default)")
+	fs.IntVar(&cfg.retries, "retries", 1, "client attempt budget (1 disables retries so latency is the server's)")
+	metrics := fs.Bool("metrics", false, "dump the harness metrics registry (Prometheus text) to stderr")
+	if err := fs.Parse(args); err != nil {
+		return cfg, false, err
+	}
+	return cfg, *metrics, nil
+}
+
+// opStats summarizes one operation type's latency histogram.
+type opStats struct {
+	Count         uint64
+	P50, P95, P99 float64 // seconds
+}
+
+// report is the result of one load run.
+type report struct {
+	Config     config
+	Ops        int
+	Errors     int
+	Wall       time.Duration
+	Throughput float64 // ops/s
+	Fetch      opStats
+	Submit     opStats
+
+	registry *obs.Registry
+}
+
+func (r *report) String() string {
+	mode := "in-process"
+	if r.Config.addr != "" {
+		mode = r.Config.addr
+	}
+	f := func(s opStats) string {
+		return fmt.Sprintf("p50 %7.3fms  p95 %7.3fms  p99 %7.3fms  (n=%d)",
+			s.P50*1e3, s.P95*1e3, s.P99*1e3, s.Count)
+	}
+	return fmt.Sprintf(
+		"cloudload: %s · %d clients · %d roads · %d prefill · %.0f%% reads · seed %d\n"+
+			"  ops         %d  (errors %d)\n"+
+			"  wall        %v\n"+
+			"  throughput  %.0f ops/s\n"+
+			"  fetch       %s\n"+
+			"  submit      %s\n",
+		mode, r.Config.clients, r.Config.roads, r.Config.prefill, r.Config.readFrac*100, r.Config.seed,
+		r.Ops, r.Errors, r.Wall.Round(time.Millisecond), r.Throughput,
+		f(r.Fetch), f(r.Submit))
+}
+
+// validate fills defaults and rejects nonsense.
+func (cfg *config) validate() error {
+	if cfg.clients < 1 || cfg.roads < 1 || cfg.cells < 1 {
+		return errors.New("clients, roads and cells must be >= 1")
+	}
+	if cfg.readFrac < 0 || cfg.readFrac > 1 {
+		return errors.New("read-frac must be in [0, 1]")
+	}
+	if cfg.ops < 1 && cfg.duration <= 0 {
+		return errors.New("need -ops >= 1 or -duration > 0")
+	}
+	if cfg.conns <= 0 {
+		cfg.conns = cfg.clients
+	}
+	if cfg.retries < 1 {
+		cfg.retries = 1
+	}
+	return nil
+}
+
+// makeProfile builds one deterministic submission payload.
+func makeProfile(rng *rand.Rand, cells int) *fusion.Profile {
+	p := &fusion.Profile{
+		SpacingM: 5,
+		S:        make([]float64, cells),
+		GradeRad: make([]float64, cells),
+		Var:      make([]float64, cells),
+	}
+	for i := 0; i < cells; i++ {
+		p.S[i] = float64(i) * 5
+		p.GradeRad[i] = 0.05 * (rng.Float64() - 0.5)
+		p.Var[i] = 1e-5 + 1e-4*rng.Float64()
+	}
+	return p
+}
+
+func roadID(i int) string { return fmt.Sprintf("road-%03d", i) }
+
+// run executes one load run and returns the report.
+func run(cfg config) (*report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	base := cfg.addr
+	if base == "" {
+		// In-process mode: a real loopback listener so the harness
+		// exercises the full HTTP serving path, not just the store.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("listening: %w", err)
+		}
+		shards := cfg.shards
+		var srv *cloud.Server
+		if shards > 0 {
+			srv = cloud.NewServerWithShards(shards)
+		} else {
+			srv = cloud.NewServer()
+		}
+		if cfg.prefill > 0 {
+			srv.MaxSubmissionsPerRoad = cfg.prefill
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	hc := &http.Client{Transport: cloud.NewTransport(cfg.conns)}
+	defer hc.CloseIdleConnections()
+	newClient := func() (*cloud.Client, error) {
+		return cloud.NewClient(base, hc,
+			cloud.WithRetry(cfg.retries, 50*time.Millisecond, time.Second),
+			cloud.WithPerTryTimeout(30*time.Second))
+	}
+
+	// Prefill every road to the steady-state window.
+	ctx := context.Background()
+	if cfg.prefill > 0 {
+		var wg sync.WaitGroup
+		errCh := make(chan error, cfg.roads)
+		sem := make(chan struct{}, cfg.clients)
+		for r := 0; r < cfg.roads; r++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(r int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				c, err := newClient()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rng := rand.New(rand.NewSource(cfg.seed + int64(1000+r)))
+				for i := 0; i < cfg.prefill; i++ {
+					if err := c.SubmitProfile(ctx, roadID(r), makeProfile(rng, cfg.cells)); err != nil {
+						errCh <- fmt.Errorf("prefill road %d: %w", r, err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+	}
+
+	// Measured phase. Latency lands in obs histograms; quantiles come from
+	// the same interpolation /metrics consumers see.
+	reg := obs.NewRegistry()
+	fetchHist := reg.Histogram("cloudload_fetch_seconds", obs.LatencyBuckets)
+	submitHist := reg.Histogram("cloudload_submit_seconds", obs.LatencyBuckets)
+	var opCount, errCount atomic.Int64
+
+	perWorker := make([]int, cfg.clients)
+	if cfg.duration <= 0 {
+		for i := 0; i < cfg.ops; i++ {
+			perWorker[i%cfg.clients]++
+		}
+	}
+	deadline := time.Now().Add(cfg.duration)
+
+	var wg sync.WaitGroup
+	workerErr := make(chan error, cfg.clients)
+	start := time.Now()
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := newClient()
+			if err != nil {
+				workerErr <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			for i := 0; ; i++ {
+				if cfg.duration > 0 {
+					if time.Now().After(deadline) {
+						return
+					}
+				} else if i >= perWorker[w] {
+					return
+				}
+				road := roadID(rng.Intn(cfg.roads))
+				if rng.Float64() < cfg.readFrac {
+					t0 := time.Now()
+					_, err = c.FetchProfile(ctx, road)
+					fetchHist.Observe(time.Since(t0).Seconds())
+				} else {
+					p := makeProfile(rng, cfg.cells)
+					t0 := time.Now()
+					err = c.SubmitProfile(ctx, road, p)
+					submitHist.Observe(time.Since(t0).Seconds())
+				}
+				opCount.Add(1)
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(workerErr)
+	if err := <-workerErr; err != nil {
+		return nil, err
+	}
+
+	stats := func(h *obs.Histogram) opStats {
+		return opStats{
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	rep := &report{
+		Config:     cfg,
+		Ops:        int(opCount.Load()),
+		Errors:     int(errCount.Load()),
+		Wall:       wall,
+		Throughput: float64(opCount.Load()) / wall.Seconds(),
+		Fetch:      stats(fetchHist),
+		Submit:     stats(submitHist),
+		registry:   reg,
+	}
+	if rep.Errors > rep.Ops/2 {
+		return rep, fmt.Errorf("%d of %d operations failed", rep.Errors, rep.Ops)
+	}
+	return rep, nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunInProcessSmall drives a tiny in-process load and checks the report
+// adds up: every operation accounted for, no errors, quantiles populated.
+func TestRunInProcessSmall(t *testing.T) {
+	cfg := config{
+		clients:  4,
+		roads:    4,
+		cells:    20,
+		prefill:  8,
+		readFrac: 0.75,
+		ops:      400,
+		seed:     1,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != cfg.ops {
+		t.Errorf("ops = %d, want %d", rep.Ops, cfg.ops)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if got := int(rep.Fetch.Count + rep.Submit.Count); got != cfg.ops {
+		t.Errorf("histograms recorded %d ops, want %d", got, cfg.ops)
+	}
+	if rep.Fetch.Count == 0 || rep.Submit.Count == 0 {
+		t.Errorf("mix degenerate: fetch=%d submit=%d", rep.Fetch.Count, rep.Submit.Count)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v", rep.Throughput)
+	}
+	if rep.Fetch.P50 <= 0 || rep.Fetch.P99 < rep.Fetch.P50 {
+		t.Errorf("fetch quantiles implausible: %+v", rep.Fetch)
+	}
+	out := rep.String()
+	for _, want := range []string{"throughput", "fetch", "submit", "in-process"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDurationMode checks the wall-clock stop condition.
+func TestRunDurationMode(t *testing.T) {
+	cfg := config{
+		clients:  2,
+		roads:    2,
+		cells:    10,
+		prefill:  2,
+		readFrac: 1.0,
+		duration: 150 * time.Millisecond,
+		seed:     2,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops == 0 {
+		t.Error("duration mode performed no operations")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []config{
+		{clients: 0, roads: 1, cells: 1, ops: 1},
+		{clients: 1, roads: 1, cells: 1, ops: 0},
+		{clients: 1, roads: 1, cells: 1, ops: 10, readFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	ok := config{clients: 2, roads: 1, cells: 1, ops: 10, readFrac: 0.5}
+	if err := ok.validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if ok.conns != 2 {
+		t.Errorf("conns default = %d, want clients (2)", ok.conns)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, metrics, err := parseFlags([]string{"-clients", "3", "-read-frac", "0.5", "-metrics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.clients != 3 || cfg.readFrac != 0.5 || !metrics {
+		t.Errorf("parsed %+v metrics=%v", cfg, metrics)
+	}
+	if _, _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

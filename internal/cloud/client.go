@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"time"
 
@@ -90,6 +91,42 @@ func NewClient(base string, hc *http.Client, opts ...Option) (*Client, error) {
 		c.maxAttempts = 1
 	}
 	return c, nil
+}
+
+// NewTransport returns an *http.Transport tuned for sustained traffic
+// against a single fusion service, sized for maxConcurrent in-flight
+// requests. http.DefaultTransport keeps only 2 idle connections per host
+// (DefaultMaxIdleConnsPerHost), so any client running more than 2 concurrent
+// requests churns a TCP (and possibly TLS) handshake per request once the
+// burst subsides — a load harness with default settings measures connection
+// setup, not the server. The knobs, and why each is set (see DESIGN.md §8):
+//
+//   - MaxIdleConnsPerHost = maxConcurrent: every worker's connection
+//     survives between requests, so steady-state traffic is handshake-free.
+//   - MaxIdleConns scales with it (the pool is effectively single-host).
+//   - IdleConnTimeout 90 s: idle sockets outlive normal think-time gaps but
+//     don't pin server FDs forever.
+//   - Dialer KeepAlive 30 s: TCP keep-alives detect half-open connections
+//     (e.g. a crashed server) instead of stalling a future request.
+//   - MaxConnsPerHost is left 0 (unlimited): admission control belongs to
+//     the caller's worker count, and a hard cap here would queue requests
+//     invisibly and distort latency measurements.
+func NewTransport(maxConcurrent int) *http.Transport {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 64
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          maxConcurrent,
+		MaxIdleConnsPerHost:   maxConcurrent,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
 }
 
 // maxErrorBodyBytes caps how much of an error response is read; a

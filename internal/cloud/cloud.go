@@ -12,6 +12,7 @@
 package cloud
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -96,18 +97,21 @@ type RoadStatus struct {
 }
 
 // Server is the fusion service. Safe for concurrent use.
+//
+// State is split across a power-of-two number of shards keyed by FNV-1a of
+// the road id; each shard has its own RWMutex and idempotency ring, and each
+// road keeps an incremental fusion.Accumulator plus generation-stamped fused
+// caches. A GET therefore costs O(cells) worst case (first read after a
+// submission) and a cache hit otherwise, independent of how many submissions
+// the road has — the batch FuseProfiles never runs on the read path.
 type Server struct {
-	mu    sync.Mutex
-	roads map[string][]*fusion.Profile
-
-	// Idempotency dedup: keys of accepted submissions, bounded FIFO.
-	seenKeys map[string]struct{}
-	keyQueue []string
-	maxKeys  int
+	shards    []shard
+	shardMask uint32
 
 	// MaxSubmissionsPerRoad bounds memory; once reached, the oldest
 	// submission is dropped (the fused result keeps improving from fresh
-	// data). Default 64.
+	// data). Default 64. The value is captured per road at its first
+	// submission.
 	MaxSubmissionsPerRoad int
 
 	// Logger, when set, enables structured access logging (one line per
@@ -116,17 +120,50 @@ type Server struct {
 	Logger *slog.Logger
 }
 
-// NewServer returns an empty fusion server.
-func NewServer() *Server {
-	return &Server{
-		roads:                 make(map[string][]*fusion.Profile),
-		seenKeys:              make(map[string]struct{}),
-		maxKeys:               4096,
+// defaultShards balances lock granularity against footprint: 32 shards keep
+// the collision probability of two hot roads low while the empty server stays
+// a few KB.
+const defaultShards = 32
+
+// maxDedupKeys is the total idempotency-key budget, split evenly across
+// shards (same overall bound as the previous global FIFO).
+const maxDedupKeys = 4096
+
+// NewServer returns an empty fusion server with the default shard count.
+func NewServer() *Server { return NewServerWithShards(defaultShards) }
+
+// NewServerWithShards returns an empty fusion server with n shards (rounded
+// up to a power of two, clamped to [1, 1024]). More shards reduce lock
+// collisions between hot roads at a small fixed memory cost.
+func NewServerWithShards(n int) *Server {
+	if n < 1 {
+		n = 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Server{
+		shards:                make([]shard, pow),
+		shardMask:             uint32(pow - 1),
 		MaxSubmissionsPerRoad: 64,
 	}
+	perShard := maxDedupKeys / pow
+	if perShard < 16 {
+		perShard = 16
+	}
+	for i := range s.shards {
+		s.shards[i].roads = make(map[string]*roadState)
+		s.shards[i].dedup = newKeyRing(perShard)
+	}
+	return s
 }
 
-// Submit stores one vehicle's profile for a road.
+// Submit stores one vehicle's profile for a road. The profile is retained by
+// reference and must not be mutated by the caller afterwards.
 func (s *Server) Submit(roadID string, p *fusion.Profile) error {
 	if roadID == "" {
 		return errors.New("cloud: empty road id")
@@ -134,75 +171,127 @@ func (s *Server) Submit(roadID string, p *fusion.Profile) error {
 	if p == nil || p.Len() == 0 {
 		return errors.New("cloud: empty profile")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.roads[roadID]
-	if len(list) > 0 && list[0].SpacingM != p.SpacingM {
-		return fmt.Errorf("cloud: road %s expects spacing %v, got %v", roadID, list[0].SpacingM, p.SpacingM)
+	rs := s.roadFor(roadID)
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.acc.Len() > 0 && rs.acc.Spacing() != p.SpacingM {
+		return fmt.Errorf("cloud: road %s expects spacing %v, got %v", roadID, rs.acc.Spacing(), p.SpacingM)
 	}
-	list = append(list, p)
-	if max := s.MaxSubmissionsPerRoad; max > 0 && len(list) > max {
-		list = list[len(list)-max:]
+	if err := rs.acc.Add(p); err != nil {
+		return fmt.Errorf("cloud: road %s: %w", roadID, err)
 	}
-	s.roads[roadID] = list
+	rs.gen++ // invalidates the fused snapshot and encoded caches
 	return nil
 }
 
 // SubmitIdempotent stores a profile unless the idempotency key has already
 // been accepted, in which case it reports duplicate=true and stores nothing —
 // a retried upload after a lost response cannot double-count. An empty key
-// always stores.
+// always stores. Keys are deduplicated within the road's shard (a client's
+// key embeds the road id, so its retries always land on the same ring).
 func (s *Server) SubmitIdempotent(roadID, key string, p *fusion.Profile) (duplicate bool, err error) {
-	if key != "" {
-		// Reserve the key atomically so two concurrent retries of the same
-		// upload cannot both store.
-		s.mu.Lock()
-		if _, ok := s.seenKeys[key]; ok {
-			s.mu.Unlock()
-			return true, nil
-		}
-		s.seenKeys[key] = struct{}{}
-		s.keyQueue = append(s.keyQueue, key)
-		if len(s.keyQueue) > s.maxKeys {
-			delete(s.seenKeys, s.keyQueue[0])
-			s.keyQueue = s.keyQueue[1:]
-		}
-		s.mu.Unlock()
+	if key == "" {
+		return false, s.Submit(roadID, p)
+	}
+	// Reserve the key atomically so two concurrent retries of the same
+	// upload cannot both store.
+	sh := s.shardFor(roadID)
+	sh.mu.Lock()
+	dup := sh.dedup.reserve(key)
+	sh.mu.Unlock()
+	if dup {
+		return true, nil
 	}
 	if err := s.Submit(roadID, p); err != nil {
-		if key != "" {
-			// Release the reservation: a rejected submission must stay
-			// retryable after the client fixes it.
-			s.mu.Lock()
-			delete(s.seenKeys, key)
-			if n := len(s.keyQueue); n > 0 && s.keyQueue[n-1] == key {
-				s.keyQueue = s.keyQueue[:n-1]
-			}
-			s.mu.Unlock()
-		}
+		// Release the reservation: a rejected submission must stay
+		// retryable after the client fixes it.
+		sh.mu.Lock()
+		sh.dedup.release(key)
+		sh.mu.Unlock()
 		return false, err
 	}
 	return false, nil
 }
 
-// Fused returns the fused profile for a road.
+// Fused returns the fused profile for a road: the cached snapshot when no
+// submission landed since the last read, an O(cells) accumulator
+// materialization otherwise. The result is the caller's to keep (a copy of
+// the cache).
 func (s *Server) Fused(roadID string) (*fusion.Profile, error) {
-	s.mu.Lock()
-	list := append([]*fusion.Profile(nil), s.roads[roadID]...)
-	s.mu.Unlock()
-	if len(list) == 0 {
+	rs := s.lookup(roadID)
+	if rs == nil {
 		return nil, fmt.Errorf("cloud: no submissions for road %s", roadID)
 	}
-	return fusion.FuseProfiles(list)
+	// Fast path: a current snapshot served under the read lock, so
+	// concurrent readers of a quiet road never serialize.
+	rs.mu.RLock()
+	if rs.snap != nil && rs.snapGen == rs.gen {
+		snap := rs.snap
+		rs.mu.RUnlock()
+		obsSnapHits.Inc()
+		return copyProfile(snap), nil
+	}
+	rs.mu.RUnlock()
+	rs.mu.Lock()
+	snap, err := rs.fusedLocked()
+	rs.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	return copyProfile(snap), nil
+}
+
+// fusedJSON returns the pre-encoded wire form of the fused profile; repeated
+// GETs of an unchanged road skip both refusion and marshalling. The returned
+// bytes are shared and immutable.
+func (s *Server) fusedJSON(roadID string) ([]byte, error) {
+	rs := s.lookup(roadID)
+	if rs == nil {
+		return nil, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	rs.mu.RLock()
+	if rs.enc != nil && rs.encGen == rs.gen {
+		enc := rs.enc
+		rs.mu.RUnlock()
+		obsEncHits.Inc()
+		return enc, nil
+	}
+	rs.mu.RUnlock()
+	rs.mu.Lock()
+	enc, err := rs.encodedLocked()
+	rs.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	return enc, nil
+}
+
+// copyProfile deep-copies a cached snapshot so callers cannot corrupt it.
+func copyProfile(p *fusion.Profile) *fusion.Profile {
+	return &fusion.Profile{
+		SpacingM: p.SpacingM,
+		S:        append([]float64(nil), p.S...),
+		GradeRad: append([]float64(nil), p.GradeRad...),
+		Var:      append([]float64(nil), p.Var...),
+	}
 }
 
 // Roads lists known roads sorted by id.
 func (s *Server) Roads() []RoadStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]RoadStatus, 0, len(s.roads))
-	for id, list := range s.roads {
-		out = append(out, RoadStatus{RoadID: id, Submissions: len(list)})
+	var out []RoadStatus
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, rs := range sh.roads {
+			rs.mu.RLock()
+			n := rs.acc.Len()
+			rs.mu.RUnlock()
+			if n == 0 {
+				continue
+			}
+			out = append(out, RoadStatus{RoadID: id, Submissions: n})
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].RoadID < out[j].RoadID })
 	return out
@@ -223,11 +312,22 @@ func (s *Server) Handler() http.Handler {
 // per 5 m cell, so 4 MiB covers hundreds of kilometers.
 const maxSubmitBodyBytes = 4 << 20
 
+// Submit-path pools: the body buffer and the decode target are recycled
+// across requests, so a sustained upload stream re-uses its allocations
+// (json.Unmarshal grows slices in place, keeping their capacity for the next
+// request) instead of churning the GC under load.
+var (
+	bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	dtoPool     = sync.Pool{New: func() any { return new(ProfileDTO) }}
+)
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBodyBytes)
-	var dto ProfileDTO
-	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
 		code := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
@@ -236,7 +336,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, fmt.Errorf("decoding profile: %w", err))
 		return
 	}
-	p, err := dto.toProfile()
+	dto := dtoPool.Get().(*ProfileDTO)
+	// Reset before decoding: json.Unmarshal leaves absent fields untouched,
+	// and a stale value from the previous request must read as absent.
+	dto.SpacingM = 0
+	dto.GradeRad = dto.GradeRad[:0]
+	dto.Var = dto.Var[:0]
+	defer dtoPool.Put(dto)
+	if err := json.Unmarshal(buf.Bytes(), dto); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding profile: %w", err))
+		return
+	}
+	p, err := dto.toProfile() // copies the slices; the DTO can be pooled
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -253,12 +364,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFused(w http.ResponseWriter, r *http.Request) {
-	fused, err := s.Fused(r.PathValue("id"))
+	enc, err := s.fusedJSON(r.PathValue("id"))
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, FromProfile(fused))
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(enc)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,252 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/obs"
+)
+
+// Cloud-serving instrumentation: every batch FuseProfiles call and every
+// accumulator rebuild is counted, so a serving deployment can verify that
+// fused reads really come from the incremental state (the batch counter must
+// stay flat while reads flow) and see how much rebuild work evictions cost.
+var (
+	obsProfileFuses = obs.Default.Counter("fusion_profile_batch_fuses_total")
+	obsAccAdds      = obs.Default.Counter("fusion_accumulator_adds_total")
+	obsAccRebuilds  = obs.Default.Counter("fusion_accumulator_rebuilds_total")
+)
+
+// Accumulator maintains the cloud-stage profile fusion of FuseProfiles
+// incrementally. FuseProfiles is a per-cell precision-weighted sum
+// (Eq. (6) applied across vehicles):
+//
+//	θ̄_c = U_c Σ_k θ_k,c / P_k,c,   U_c = (Σ_k 1/P_k,c)⁻¹
+//
+// so instead of re-running the batch over every stored submission on every
+// read — O(submissions × cells) — the accumulator keeps the running totals
+// Σ 1/P_k,c (sumInv) and Σ θ_k,c/P_k,c (sumWeighted) per cell:
+//
+//   - Add folds one submission in: O(cells of that submission).
+//   - Fused materializes the fused profile from the totals: O(cells), with
+//     zero FuseProfiles calls.
+//   - When the retention window is full, accepting a new submission evicts
+//     the oldest and rebuilds the totals exactly from the retained window:
+//     O(window × cells), paid only on writes past the cap.
+//
+// The output is bit-identical to FuseProfiles over the retained window: the
+// per-cell additions happen in the same submission order with the same
+// association as the batch loop, and eviction never subtracts (floating-point
+// subtraction would drift) — it rebuilds from scratch in batch order.
+//
+// An Accumulator is not safe for concurrent use; callers (cloud.Server)
+// provide their own locking. Added profiles are retained by reference and
+// must not be mutated afterwards.
+type Accumulator struct {
+	maxWindow int // retention cap; <= 0 means unbounded
+
+	spacing float64
+	window  []contribution // retained submissions in arrival order
+
+	cells       int
+	sumInv      []float64 // Σ 1/Var[c] over the window, in arrival order
+	sumWeighted []float64 // Σ GradeRad[c]/Var[c] over the window
+}
+
+// contribution is one retained submission with its per-cell terms
+// precomputed: inv[c] = 1/Var[c] and w[c] = inv[c]*GradeRad[c], the exact
+// values the batch loop of FuseProfiles derives per read. Computing them once
+// at Add time makes eviction rebuilds pure additions — no divisions or
+// multiplications — while staying bit-identical (the same operands produce
+// the same IEEE results no matter when they are computed). Cells with
+// Var[c] <= 0 hold zeroes and are skipped at rebuild exactly as the batch
+// loop skips them.
+type contribution struct {
+	p   *Profile
+	inv []float64
+	w   []float64
+}
+
+// newContribution precomputes a profile's per-cell fusion terms.
+func newContribution(p *Profile) contribution {
+	n := p.Len()
+	e := contribution{p: p, inv: make([]float64, n), w: make([]float64, n)}
+	for c := 0; c < n; c++ {
+		if p.Var[c] <= 0 {
+			continue
+		}
+		e.inv[c] = 1 / p.Var[c]
+		e.w[c] = e.inv[c] * p.GradeRad[c]
+	}
+	return e
+}
+
+// NewAccumulator returns an empty accumulator retaining at most maxWindow
+// submissions (<= 0 for unbounded).
+func NewAccumulator(maxWindow int) *Accumulator {
+	return &Accumulator{maxWindow: maxWindow}
+}
+
+// Len returns the number of retained submissions.
+func (a *Accumulator) Len() int { return len(a.window) }
+
+// Cells returns the current fused grid length (the longest retained
+// submission).
+func (a *Accumulator) Cells() int { return a.cells }
+
+// Spacing returns the grid spacing, or 0 while empty.
+func (a *Accumulator) Spacing() float64 {
+	if len(a.window) == 0 {
+		return 0
+	}
+	return a.spacing
+}
+
+// Window returns the retained submissions in arrival order (a fresh slice;
+// the profiles are shared and must be treated as read-only).
+func (a *Accumulator) Window() []*Profile {
+	out := make([]*Profile, len(a.window))
+	for i := range a.window {
+		out[i] = a.window[i].p
+	}
+	return out
+}
+
+// Add folds one submission into the running totals, evicting the oldest
+// retained submission first when the window is full.
+func (a *Accumulator) Add(p *Profile) error {
+	if p == nil || p.Len() == 0 {
+		return errors.New("fusion: empty profile")
+	}
+	if len(a.window) == 0 {
+		a.spacing = p.SpacingM
+	} else if math.Abs(p.SpacingM-a.spacing) > 1e-9 {
+		return fmt.Errorf("fusion: profile spacing %v != %v", p.SpacingM, a.spacing)
+	}
+	obsAccAdds.Inc()
+	e := newContribution(p)
+	if a.maxWindow > 0 && len(a.window) >= a.maxWindow {
+		// Window full: drop the oldest submission(s) and rebuild the
+		// totals exactly from what remains plus the newcomer.
+		drop := len(a.window) - a.maxWindow + 1
+		keep := copy(a.window, a.window[drop:])
+		for i := keep; i < len(a.window); i++ {
+			a.window[i] = contribution{} // release for GC
+		}
+		a.window = append(a.window[:keep], e)
+		a.rebuild()
+		return nil
+	}
+	a.window = append(a.window, e)
+	a.accumulate(e)
+	return nil
+}
+
+// accumulate folds one contribution's cells into the totals, growing the grid
+// as needed.
+func (a *Accumulator) accumulate(e contribution) {
+	if n := e.p.Len(); n > a.cells {
+		a.sumInv = growZero(a.sumInv, n)
+		a.sumWeighted = growZero(a.sumWeighted, n)
+		a.cells = n
+	}
+	vari := e.p.Var[:e.p.Len()]
+	for c := range vari {
+		if vari[c] <= 0 {
+			continue // same skip rule as FuseProfiles
+		}
+		a.sumInv[c] += e.inv[c]
+		a.sumWeighted[c] += e.w[c]
+	}
+}
+
+// rebuild recomputes the totals from the retained window in arrival order —
+// the exact batch summation FuseProfiles performs, so the post-eviction state
+// is bit-identical to fusing the retained window from scratch. The per-cell
+// 1/Var and weighted-grade terms were precomputed at Add time, so the rebuild
+// is pure additions over the window.
+func (a *Accumulator) rebuild() {
+	obsAccRebuilds.Inc()
+	a.cells = 0
+	for i := range a.window {
+		if n := a.window[i].p.Len(); n > a.cells {
+			a.cells = n
+		}
+	}
+	a.sumInv = zeroed(a.sumInv, a.cells)
+	a.sumWeighted = zeroed(a.sumWeighted, a.cells)
+	for i := range a.window {
+		e := &a.window[i]
+		vari, inv, w := e.p.Var[:e.p.Len()], e.inv, e.w
+		sumInv := a.sumInv[:len(vari)]
+		sumW := a.sumWeighted[:len(vari)]
+		for c := range vari {
+			if vari[c] <= 0 {
+				continue
+			}
+			sumInv[c] += inv[c]
+			sumW[c] += w[c]
+		}
+	}
+}
+
+// Fused materializes the fused profile from the running totals: O(cells),
+// no FuseProfiles call. The result is freshly allocated and bit-identical to
+// FuseProfiles(a.Window()).
+func (a *Accumulator) Fused() (*Profile, error) {
+	if len(a.window) == 0 {
+		return nil, errors.New("fusion: no profiles")
+	}
+	out := &Profile{
+		SpacingM: a.spacing,
+		S:        make([]float64, a.cells),
+		GradeRad: make([]float64, a.cells),
+		Var:      make([]float64, a.cells),
+	}
+	for c := 0; c < a.cells; c++ {
+		out.S[c] = float64(c) * a.spacing
+		if a.sumInv[c] == 0 {
+			// No submission covers this cell; carry forward, exactly as
+			// the batch fuse does.
+			if c > 0 {
+				out.GradeRad[c] = out.GradeRad[c-1]
+				out.Var[c] = out.Var[c-1]
+			}
+			continue
+		}
+		u := 1 / a.sumInv[c] // Eq. (6b)
+		out.GradeRad[c] = u * a.sumWeighted[c]
+		out.Var[c] = u
+	}
+	return out, nil
+}
+
+// growZero extends s to length n, preserving existing totals and zero-filling
+// the new cells.
+func growZero(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		old := len(s)
+		s = s[:n]
+		for i := old; i < n; i++ {
+			s[i] = 0
+		}
+		return s
+	}
+	out := make([]float64, n)
+	copy(out, s)
+	return out
+}
+
+// zeroed returns s resized to length n with every cell zero, reusing the
+// backing array when possible.
+func zeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -336,6 +336,7 @@ func calibrateVariances(gs []gridded, cells int) {
 // gradient results from different vehicles"). All profiles must share the
 // grid spacing; the result covers the longest profile.
 func FuseProfiles(profiles []*Profile) (*Profile, error) {
+	obsProfileFuses.Inc()
 	if len(profiles) == 0 {
 		return nil, errors.New("fusion: no profiles")
 	}

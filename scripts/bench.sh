@@ -1,40 +1,54 @@
 #!/bin/sh
-# Runs the tier-1 benchmark family (Figure 9/10 experiments plus the geo
-# ClosestS micro-benchmarks) and writes a JSON snapshot with ns/op, B/op and
-# allocs/op per benchmark.
+# Runs the tier-1 benchmark families and writes JSON snapshots with ns/op,
+# B/op and allocs/op per benchmark:
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR1.json)
+#   - the Figure 9/10 experiments plus the geo ClosestS micro-benchmarks
+#     (PR 1 baseline), and
+#   - the cloud serving benchmarks — sharded store vs the pre-sharding
+#     legacy path (PR 4 baseline).
+#
+# Usage: scripts/bench.sh [pr1.json] [pr4.json]
+#   (defaults BENCH_PR1.json and BENCH_PR4.json)
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR1.json}"
+out1="${1:-BENCH_PR1.json}"
+out4="${2:-BENCH_PR4.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
+# emit_json parses `BenchmarkName  iters  ns/op  B/op  allocs/op` lines from
+# the file in $1 into a JSON array on stdout.
+emit_json() {
+    awk '
+    BEGIN { print "[" }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns = $(i-1)
+            if ($(i) == "B/op")      bytes = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
+        }
+        if (ns == "") next
+        if (n++) printf ",\n"
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+        if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }
+    END { print "\n]" }
+    ' "$1"
+}
+
 go test -run '^$' -bench 'BenchmarkFigure(9a|9b|10a|10b)' -benchmem -benchtime=1x . >"$tmp"
 go test -run '^$' -bench 'BenchmarkClosestS' -benchmem ./internal/geo >>"$tmp"
+emit_json "$tmp" >"$out1"
+echo "wrote $out1:"
+cat "$out1"
 
-# Parse `BenchmarkName  iters  ns/op  B/op  allocs/op` lines into JSON.
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")     ns = $(i-1)
-        if ($(i) == "B/op")      bytes = $(i-1)
-        if ($(i) == "allocs/op") allocs = $(i-1)
-    }
-    if (ns == "") next
-    if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
-    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    printf "}"
-}
-END { print "\n]" }
-' "$tmp" >"$out"
-
-echo "wrote $out:"
-cat "$out"
+go test -run '^$' -bench 'BenchmarkServer|BenchmarkHandleFused' -benchmem ./internal/cloud >"$tmp"
+emit_json "$tmp" >"$out4"
+echo "wrote $out4:"
+cat "$out4"

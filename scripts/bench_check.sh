@@ -1,80 +1,96 @@
 #!/bin/sh
 # Guard rail that instrumentation (or any other change) stayed off the hot
-# path: rerun the PR 1 benchmark family and fail if any benchmark regresses
-# more than the tolerance vs the BENCH_PR1.json baseline.
+# paths: rerun the PR 1 benchmark family (pipeline experiments + geo) and the
+# PR 4 serving family (sharded cloud store vs legacy) and fail if any
+# benchmark regresses more than its tolerance vs the committed baselines.
 #
-# Usage: scripts/bench_check.sh [baseline.json]
-#   BENCH_TOLERANCE_PCT   allowed ns/op regression (default 10)
-#   BENCH_COUNT           runs per benchmark; the best run is compared, which
-#                         filters scheduler noise (default 3)
+# Usage: scripts/bench_check.sh [pr1-baseline.json] [pr4-baseline.json]
+#   BENCH_TOLERANCE_PCT           allowed ns/op regression for the PR 1
+#                                 family (default 10)
+#   BENCH_SERVING_TOLERANCE_PCT   allowed ns/op regression for the serving
+#                                 family; parallel mixed-load benchmarks are
+#                                 noisier, so the default is looser (30)
+#   BENCH_COUNT                   runs per benchmark; the best run is
+#                                 compared, which filters scheduler noise
+#                                 (default 3)
 set -eu
 
 cd "$(dirname "$0")/.."
-baseline="${1:-BENCH_PR1.json}"
-tol="${BENCH_TOLERANCE_PCT:-10}"
+baseline1="${1:-BENCH_PR1.json}"
+baseline4="${2:-BENCH_PR4.json}"
+tol1="${BENCH_TOLERANCE_PCT:-10}"
+tol4="${BENCH_SERVING_TOLERANCE_PCT:-30}"
 count="${BENCH_COUNT:-3}"
 
-if [ ! -f "$baseline" ]; then
-    echo "bench_check: baseline $baseline not found" >&2
-    exit 1
-fi
+for b in "$baseline1" "$baseline4"; do
+    if [ ! -f "$b" ]; then
+        echo "bench_check: baseline $b not found" >&2
+        exit 1
+    fi
+done
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'BenchmarkFigure(9a|9b|10a|10b)' -benchmem -benchtime=1x -count="$count" . >"$tmp"
-go test -run '^$' -bench 'BenchmarkClosestS' -benchmem -count="$count" ./internal/geo >>"$tmp"
-
-# Compare the best (minimum) measured ns/op per benchmark against the
-# baseline's ns/op.
-awk -v tol="$tol" -v baseline="$baseline" '
-BEGIN {
-    # Parse the baseline JSON (the simple one-object-per-line form bench.sh
-    # writes): pull "name" and "ns_per_op" pairs.
-    while ((getline line < baseline) > 0) {
-        if (match(line, /"name": "[^"]+"/)) {
-            name = substr(line, RSTART + 9, RLENGTH - 10)
-            if (match(line, /"ns_per_op": [0-9.e+]+/)) {
-                base[name] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+# compare measured-output-file baseline tolerance: compares the best
+# (minimum) measured ns/op per benchmark against the baseline's ns/op.
+compare() {
+    awk -v tol="$3" -v baseline="$2" '
+    BEGIN {
+        # Parse the baseline JSON (the simple one-object-per-line form
+        # bench.sh writes): pull "name" and "ns_per_op" pairs.
+        while ((getline line < baseline) > 0) {
+            if (match(line, /"name": "[^"]+"/)) {
+                name = substr(line, RSTART + 9, RLENGTH - 10)
+                if (match(line, /"ns_per_op": [0-9.e+]+/)) {
+                    base[name] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+                }
+            }
+        }
+        close(baseline)
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op") {
+                ns = $(i - 1) + 0
+                if (!(name in best) || ns < best[name]) best[name] = ns
             }
         }
     }
-    close(baseline)
-}
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op") {
-            ns = $(i - 1) + 0
-            if (!(name in best) || ns < best[name]) best[name] = ns
+    END {
+        fail = 0
+        checked = 0
+        for (name in base) {
+            if (!(name in best)) {
+                printf "bench_check: MISSING  %-28s (in baseline, not measured)\n", name
+                fail = 1
+                continue
+            }
+            checked++
+            delta = (best[name] - base[name]) * 100 / base[name]
+            status = "ok"
+            if (delta > tol) { status = "REGRESSED"; fail = 1 }
+            printf "bench_check: %-9s %-28s base %14.0f ns/op, now %14.0f ns/op (%+.1f%%)\n", \
+                status, name, base[name], best[name], delta
         }
-    }
-}
-END {
-    fail = 0
-    checked = 0
-    for (name in base) {
-        if (!(name in best)) {
-            printf "bench_check: MISSING  %-28s (in baseline, not measured)\n", name
+        if (checked == 0) {
+            print "bench_check: no benchmarks compared" > "/dev/stderr"
             fail = 1
-            continue
         }
-        checked++
-        delta = (best[name] - base[name]) * 100 / base[name]
-        status = "ok"
-        if (delta > tol) { status = "REGRESSED"; fail = 1 }
-        printf "bench_check: %-9s %-28s base %14.0f ns/op, now %14.0f ns/op (%+.1f%%)\n", \
-            status, name, base[name], best[name], delta
+        if (fail) {
+            printf "bench_check: FAIL (tolerance %s%%)\n", tol
+            exit 1
+        }
+        printf "bench_check: OK (%d benchmarks within %s%%)\n", checked, tol
     }
-    if (checked == 0) {
-        print "bench_check: no benchmarks compared" > "/dev/stderr"
-        fail = 1
-    }
-    if (fail) {
-        printf "bench_check: FAIL (tolerance %s%%)\n", tol
-        exit 1
-    }
-    printf "bench_check: OK (%d benchmarks within %s%%)\n", checked, tol
+    ' "$1"
 }
-' "$tmp"
+
+go test -run '^$' -bench 'BenchmarkFigure(9a|9b|10a|10b)' -benchmem -benchtime=1x -count="$count" . >"$tmp"
+go test -run '^$' -bench 'BenchmarkClosestS' -benchmem -count="$count" ./internal/geo >>"$tmp"
+compare "$tmp" "$baseline1" "$tol1"
+
+go test -run '^$' -bench 'BenchmarkServer|BenchmarkHandleFused' -benchmem -count="$count" ./internal/cloud >"$tmp"
+compare "$tmp" "$baseline4" "$tol4"

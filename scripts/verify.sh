@@ -18,6 +18,12 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go test -race (serving concurrency gate) =="
+# The sharded cloud store and the fusion accumulator are the packages with
+# real lock hierarchies; run them first, uncached, so a data race there fails
+# fast with a focused report.
+go test -race -count=1 ./internal/cloud/... ./internal/fusion/...
+
 echo "== go test -race =="
 go test -race ./...
 
