@@ -11,6 +11,7 @@
 //	POST /v1/roads/{id}/profiles   {"spacing_m":5,"grade_rad":[...],"var":[...]}
 //	GET  /v1/roads/{id}/profile
 //	GET  /v1/roads
+//	GET  /v1/route                 eco-routing over the fused map (needs -route-km)
 //
 // Observability (on -debug-addr, kept off the public listener; empty
 // disables):
@@ -41,7 +42,9 @@ import (
 	"time"
 
 	"roadgrade/internal/cloud"
+	"roadgrade/internal/ecoroute"
 	"roadgrade/internal/obs"
+	"roadgrade/internal/road"
 )
 
 func main() {
@@ -95,6 +98,8 @@ func run() error {
 	debugAddr := flag.String("debug-addr", "127.0.0.1:6060", "debug listen address for /metrics, /healthz and /debug/pprof (empty disables)")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	shards := flag.Int("shards", 0, "store shard count, rounded up to a power of two (0: default 32)")
+	routeKM := flag.Float64("route-km", 0, "enable GET /v1/route over a generated network of this many street-km (0 disables; 164.8 is the paper's area)")
+	routeSeed := flag.Int64("route-seed", 1827, "network generator seed for -route-km")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -109,6 +114,21 @@ func run() error {
 		fusionSrv = cloud.NewServer()
 	}
 	fusionSrv.Logger = logger
+	if *routeKM > 0 {
+		// Eco-routing over this server's own fused store: routes follow the
+		// crowd-sourced gradient map as submissions land, falling back to
+		// flat for roads nobody has driven yet.
+		net, err := road.GenerateNetwork(*routeSeed, road.NetworkConfig{TargetStreetKM: *routeKM})
+		if err != nil {
+			return fmt.Errorf("generating routing network: %w", err)
+		}
+		eng, err := ecoroute.NewEngine(net, ecoroute.CloudSource{Store: fusionSrv}, ecoroute.Config{})
+		if err != nil {
+			return fmt.Errorf("building routing engine: %w", err)
+		}
+		fusionSrv.EnableRouting(eng)
+		logger.Info("routing enabled", "street_km", net.TotalLengthM()/1000, "nodes", len(net.Nodes), "edges", len(net.Edges))
+	}
 	obs.RegisterRuntimeGauges(obs.Default)
 
 	srv := &http.Server{

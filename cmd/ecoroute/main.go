@@ -1,0 +1,157 @@
+// Command ecoroute plans fuel/emission-optimal routes over a generated road
+// network using the ground-truth gradient map — the offline counterpart of
+// the cloud service's GET /v1/route.
+//
+// Usage:
+//
+//	ecoroute [-seed 1827] [-km 164.8] [-speed 40] [-objective fuel] \
+//	         [-from N -to M | -pairs K] [-format table|json]
+//
+// With -from/-to it answers one query under every objective (the comparison a
+// driver would want before picking a route). With -pairs it samples K random
+// origin/destination pairs and reports the panel means per planner, like the
+// `gradebench -exp ecoroutes` table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"roadgrade/internal/ecoroute"
+	"roadgrade/internal/road"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ecoroute: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1827, "network generator seed (1827 = the Charlottesville-scale network)")
+	km := flag.Float64("km", 164.8, "target street length of the generated network (km)")
+	speed := flag.Float64("speed", 40, "cruise speed (km/h), snapped to the engine's buckets")
+	objective := flag.String("objective", "fuel", "routing objective: distance | time | fuel | co2")
+	from := flag.Int("from", -1, "origin node id (with -to: single-query mode)")
+	to := flag.Int("to", -1, "destination node id")
+	pairs := flag.Int("pairs", 0, "sample this many random O/D pairs and report planner means")
+	format := flag.String("format", "table", "output format: table | json")
+	flag.Parse()
+
+	if *format != "table" && *format != "json" {
+		return fmt.Errorf("unknown -format %q (want table | json)", *format)
+	}
+	obj, err := ecoroute.ParseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	net, err := road.GenerateNetwork(*seed, road.NetworkConfig{TargetStreetKM: *km})
+	if err != nil {
+		return err
+	}
+	eng, err := ecoroute.NewEngine(net, ecoroute.TruthSource{}, ecoroute.Config{})
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *from >= 0 && *to >= 0:
+		return singleQuery(eng, *speed, *from, *to, *format)
+	case *pairs > 0:
+		return panelQuery(eng, net, obj, *speed, *pairs, *seed, *format)
+	default:
+		return fmt.Errorf("need either -from and -to, or -pairs")
+	}
+}
+
+// singleQuery answers one O/D query under every objective so the outputs can
+// be compared side by side.
+func singleQuery(eng *ecoroute.Engine, speed float64, from, to int, format string) error {
+	plans := make([]ecoroute.Plan, 0, len(ecoroute.Objectives()))
+	for _, obj := range ecoroute.Objectives() {
+		p, err := eng.Route(obj, speed, from, to)
+		if err != nil {
+			return err
+		}
+		plans = append(plans, p)
+	}
+	if format == "json" {
+		return json.NewEncoder(os.Stdout).Encode(plans)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "objective\troads\tlength (km)\ttime (s)\tfuel (gal)\tCO2 (kg)")
+	for _, p := range plans {
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.1f\t%.4f\t%.3f\n",
+			p.Objective, len(p.RoadIDs), p.LengthM/1000, p.TimeS, p.FuelGal, p.CO2G/1000)
+	}
+	return w.Flush()
+}
+
+// panelRow is one planner's panel means in the -pairs report.
+type panelRow struct {
+	Objective   string  `json:"objective"`
+	Pairs       int     `json:"pairs"`
+	MeanLengthM float64 `json:"mean_length_m"`
+	MeanTimeS   float64 `json:"mean_time_s"`
+	MeanFuelGal float64 `json:"mean_fuel_gal"`
+	MeanCO2G    float64 `json:"mean_co2_g"`
+}
+
+// panelQuery samples random connected O/D pairs and reports per-planner
+// means; the requested objective is listed alongside the distance and time
+// baselines.
+func panelQuery(eng *ecoroute.Engine, net *road.Network, obj ecoroute.Objective, speed float64, n int, seed int64, format string) error {
+	objectives := []ecoroute.Objective{ecoroute.Distance, ecoroute.Time}
+	if obj != ecoroute.Distance && obj != ecoroute.Time {
+		objectives = append(objectives, obj)
+	}
+	rng := rand.New(rand.NewSource(seed + 97))
+	type od struct{ from, to int }
+	var sample []od
+	for len(sample) < n {
+		f := net.Nodes[rng.Intn(len(net.Nodes))].ID
+		t := net.Nodes[rng.Intn(len(net.Nodes))].ID
+		if f == t {
+			continue
+		}
+		if _, err := eng.Route(ecoroute.Distance, speed, f, t); err != nil {
+			continue // disconnected pair; redraw
+		}
+		sample = append(sample, od{f, t})
+	}
+	rows := make([]panelRow, 0, len(objectives))
+	for _, o := range objectives {
+		row := panelRow{Objective: o.String(), Pairs: len(sample)}
+		for _, p := range sample {
+			plan, err := eng.Route(o, speed, p.from, p.to)
+			if err != nil {
+				return err
+			}
+			row.MeanLengthM += plan.LengthM
+			row.MeanTimeS += plan.TimeS
+			row.MeanFuelGal += plan.FuelGal
+			row.MeanCO2G += plan.CO2G
+		}
+		k := float64(len(sample))
+		row.MeanLengthM /= k
+		row.MeanTimeS /= k
+		row.MeanFuelGal /= k
+		row.MeanCO2G /= k
+		rows = append(rows, row)
+	}
+	if format == "json" {
+		return json.NewEncoder(os.Stdout).Encode(rows)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "planner\tpairs\tmean length (km)\tmean time (s)\tmean fuel (gal)\tmean CO2 (kg)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.1f\t%.4f\t%.3f\n",
+			r.Objective, r.Pairs, r.MeanLengthM/1000, r.MeanTimeS, r.MeanFuelGal, r.MeanCO2G/1000)
+	}
+	return w.Flush()
+}

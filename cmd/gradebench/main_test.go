@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -30,5 +31,33 @@ func TestUnknownExperimentError(t *testing.T) {
 	}
 	if !strings.Contains(msg, listText()) {
 		t.Errorf("message should embed the -list output verbatim")
+	}
+}
+
+// TestListingSortedAndDeterministic locks the -list catalogue: sorted,
+// stable across calls (Names ranges a map — ordering must not leak through),
+// and inclusive of the eco-routing experiment.
+func TestListingSortedAndDeterministic(t *testing.T) {
+	first := listText()
+	names := strings.Split(first, "\n")
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("listing is not sorted:\n%s", first)
+	}
+	found := false
+	for _, n := range names {
+		if n == "ecoroutes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("listing lacks the ecoroutes experiment:\n%s", first)
+	}
+	for i := 0; i < 20; i++ {
+		if got := listText(); got != first {
+			t.Fatalf("listing is not deterministic:\nfirst:\n%s\ncall %d:\n%s", first, i+2, got)
+		}
+	}
+	if got := unknownExpError("nope").Error(); !strings.HasSuffix(got, first) {
+		t.Errorf("unknown -exp error does not end with the sorted listing: %q", got)
 	}
 }

@@ -21,7 +21,9 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"roadgrade/internal/ecoroute"
 	"roadgrade/internal/fusion"
 )
 
@@ -108,6 +110,14 @@ type Server struct {
 	shards    []shard
 	shardMask uint32
 
+	// totalGen counts accepted submissions across all roads. It is the O(1)
+	// staleness signal the eco-routing engine polls: unchanged counter means
+	// no road's fused profile can have changed.
+	totalGen atomic.Uint64
+
+	// router, when set via EnableRouting, serves GET /v1/route.
+	router *ecoroute.Engine
+
 	// MaxSubmissionsPerRoad bounds memory; once reached, the oldest
 	// submission is dropped (the fused result keeps improving from fresh
 	// data). Default 64. The value is captured per road at its first
@@ -181,7 +191,40 @@ func (s *Server) Submit(roadID string, p *fusion.Profile) error {
 		return fmt.Errorf("cloud: road %s: %w", roadID, err)
 	}
 	rs.gen++ // invalidates the fused snapshot and encoded caches
+	s.totalGen.Add(1)
 	return nil
+}
+
+// StoreGeneration returns the count of accepted submissions — the O(1)
+// staleness signal for generation-keyed consumers (ecoroute.CloudStore).
+func (s *Server) StoreGeneration() uint64 { return s.totalGen.Load() }
+
+// FusedGeneration returns the road's fused snapshot and the submission
+// generation it reflects (ecoroute.CloudStore). Unlike Fused it serves the
+// cached snapshot without a defensive copy: snapshots are immutable once
+// published, and routing refreshes read every road's profile, so per-call
+// copies would dominate the refresh.
+func (s *Server) FusedGeneration(roadID string) (*fusion.Profile, uint64, error) {
+	rs := s.lookup(roadID)
+	if rs == nil {
+		return nil, 0, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	rs.mu.RLock()
+	if rs.snap != nil && rs.snapGen == rs.gen {
+		snap, gen := rs.snap, rs.gen
+		rs.mu.RUnlock()
+		obsSnapHits.Inc()
+		return snap, gen, nil
+	}
+	rs.mu.RUnlock()
+	rs.mu.Lock()
+	snap, err := rs.fusedLocked()
+	gen := rs.gen
+	rs.mu.Unlock()
+	if err != nil {
+		return nil, 0, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	return snap, gen, nil
 }
 
 // SubmitIdempotent stores a profile unless the idempotency key has already
@@ -305,6 +348,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/roads/{id}/profiles", s.instrument(routeSubmit, s.handleSubmit))
 	mux.Handle("GET /v1/roads/{id}/profile", s.instrument(routeFused, s.handleFused))
 	mux.Handle("GET /v1/roads", s.instrument(routeList, s.handleList))
+	mux.Handle("GET /v1/route", s.instrument(routeRoute, s.handleRoute))
 	return RequestID(mux)
 }
 

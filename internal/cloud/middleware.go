@@ -21,6 +21,7 @@ var (
 		routeSubmit: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeSubmit)),
 		routeFused:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeFused)),
 		routeList:   obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeList)),
+		routeRoute:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeRoute)),
 	}
 	obsSrvDupHits = obs.Default.Counter("cloud_idempotency_dup_total")
 )
@@ -30,6 +31,7 @@ const (
 	routeSubmit = "submit"
 	routeFused  = "fused"
 	routeList   = "list"
+	routeRoute  = "route"
 )
 
 // requestIDKey carries the request id through the context.

@@ -1,0 +1,412 @@
+// Package ecoroute is the routing subsystem that closes the loop the paper
+// motivates: once road gradients are known (ground truth, or the cloud
+// store's crowd-fused estimates), per-edge fuel consumption is predictable
+// and routes can be planned to minimize gallons or emissions instead of
+// meters or minutes — the question a fleet actually asks of the fused map.
+//
+// Architecture (DESIGN.md §9):
+//
+//   - Edge costs come from fuel.VSPParams.RateGPH integrated along each
+//     edge's gradient profile at a cruise speed. Grade sign flips with travel
+//     direction, so every directed edge gets its own cost, per cruise-speed
+//     bucket (class-dependent speed factors make arterials faster than local
+//     streets, so fastest and shortest genuinely differ).
+//   - Cost tables are precomputed once and cached as immutable snapshots
+//     stamped with the grade source's generation counters. A cloud
+//     re-fusion bumps only the affected roads' generations, so a refresh
+//     recomputes only those edges (cache hits/misses are exported metrics).
+//   - Point-to-point queries run bidirectional Dijkstra with an admissible
+//     ALT (A*, landmarks, triangle inequality) lower bound, bit-identical in
+//     cost to plain Dijkstra; batched many-to-many queries fan one-to-all
+//     searches across a bounded worker pool.
+package ecoroute
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"roadgrade/internal/fuel"
+	"roadgrade/internal/road"
+)
+
+// Objective selects what a route minimizes.
+type Objective int
+
+const (
+	// Distance minimizes travelled meters.
+	Distance Objective = iota
+	// Time minimizes travel time at class-adjusted cruise speeds.
+	Time
+	// Fuel minimizes gallons burned over the gradient profiles.
+	Fuel
+	// CO2 minimizes carbon dioxide emitted. Emissions are proportional to
+	// fuel (§III-E: m = F·V), so the argmin path equals Fuel's; the
+	// objective exists so costs and reports read in grams.
+	CO2
+)
+
+// String returns the objective name.
+func (o Objective) String() string {
+	switch o {
+	case Distance:
+		return "distance"
+	case Time:
+		return "time"
+	case Fuel:
+		return "fuel"
+	case CO2:
+		return "co2"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Objectives lists every routing objective in stable order.
+func Objectives() []Objective { return []Objective{Distance, Time, Fuel, CO2} }
+
+// ParseObjective resolves an objective name (case-insensitive).
+func ParseObjective(s string) (Objective, error) {
+	switch strings.ToLower(s) {
+	case "distance", "shortest":
+		return Distance, nil
+	case "time", "fastest":
+		return Time, nil
+	case "fuel", "eco":
+		return Fuel, nil
+	case "co2", "emission":
+		return CO2, nil
+	}
+	return 0, fmt.Errorf("ecoroute: unknown objective %q (want distance | time | fuel | co2)", s)
+}
+
+// Config tunes the engine. The zero value selects the defaults.
+type Config struct {
+	// SpeedsKmh are the cruise-speed buckets cost tables are built for;
+	// queries snap to the nearest bucket. Default {30, 40, 50, 60}.
+	SpeedsKmh []float64
+	// SampleStepM is the arc-length step of the per-edge fuel integration
+	// (default 5 m, the fusion grid spacing).
+	SampleStepM float64
+	// Landmarks is the ALT landmark count (default 8, clamped to the node
+	// count). Zero uses the default; negative disables ALT pruning.
+	Landmarks int
+	// Params are the Eq. (7) VSP coefficients (default fuel.TableII()).
+	Params fuel.VSPParams
+	// ClassSpeedFactor scales the cruise speed per road class — arterials
+	// flow faster than local streets, which is what makes the fastest route
+	// differ from the shortest. Defaults: arterial 1.25, collector 1.0,
+	// local 0.85. Set all classes to 1 for a uniform-speed model.
+	ClassSpeedFactor map[road.Class]float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.SpeedsKmh) == 0 {
+		c.SpeedsKmh = []float64{30, 40, 50, 60}
+	}
+	if c.SampleStepM <= 0 {
+		c.SampleStepM = 5
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = 8
+	}
+	if (c.Params == fuel.VSPParams{}) {
+		c.Params = fuel.TableII()
+	}
+	if c.ClassSpeedFactor == nil {
+		c.ClassSpeedFactor = map[road.Class]float64{
+			road.ClassArterial:  1.25,
+			road.ClassCollector: 1.0,
+			road.ClassLocal:     0.85,
+		}
+	}
+	return c
+}
+
+// classFactor returns the speed factor for a class (1 when unconfigured).
+func (c Config) classFactor(cls road.Class) float64 {
+	if f, ok := c.ClassSpeedFactor[cls]; ok && f > 0 {
+		return f
+	}
+	return 1
+}
+
+// Engine answers routing queries over one network and one grade source.
+// Safe for concurrent use: queries run on immutable cost-table snapshots,
+// refreshes build a new snapshot and swap it in.
+type Engine struct {
+	net *road.Network
+	src GradeSource
+	cfg Config
+
+	// Dense graph: node IDs are mapped to [0, n) once at construction.
+	idx     map[int]int // node ID → dense index
+	ids     []int       // dense index → node ID
+	out     [][]int32   // dense node → outgoing edge indices
+	in      [][]int32   // dense node → incoming edge indices
+	edges   []*road.Edge
+	tail    []int32 // per edge: dense From
+	head    []int32 // per edge: dense To
+	lengthM []float64
+	sibling []int32 // opposite-direction edge index, -1 if none
+
+	// timeS[b][e] is edge e's traversal seconds at bucket b's class-adjusted
+	// speed; fixed at construction (grades don't change time in this model).
+	timeS [][]float64
+
+	mu  sync.Mutex // serializes refresh and landmark builds
+	cur atomicTables
+
+	lmNodes []int32 // landmark node set (picked once, on the distance metric)
+	lmMu    sync.Mutex
+	lmCache map[lmKey]*landmarkTable
+}
+
+// NewEngine indexes the network and prepares (but does not yet fill) the
+// cost tables; the first query triggers the initial build.
+func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) {
+	if net == nil || len(net.Nodes) == 0 {
+		return nil, errors.New("ecoroute: empty network")
+	}
+	if src == nil {
+		return nil, errors.New("ecoroute: nil grade source")
+	}
+	cfg = cfg.withDefaults()
+	for _, s := range cfg.SpeedsKmh {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("ecoroute: invalid cruise speed %v km/h", s)
+		}
+	}
+
+	e := &Engine{
+		net:     net,
+		src:     src,
+		cfg:     cfg,
+		idx:     make(map[int]int, len(net.Nodes)),
+		ids:     make([]int, len(net.Nodes)),
+		lmCache: make(map[lmKey]*landmarkTable),
+	}
+	for i, n := range net.Nodes {
+		if _, dup := e.idx[n.ID]; dup {
+			return nil, fmt.Errorf("ecoroute: duplicate node id %d", n.ID)
+		}
+		e.idx[n.ID] = i
+		e.ids[i] = n.ID
+	}
+	nNodes := len(net.Nodes)
+	e.out = make([][]int32, nNodes)
+	e.in = make([][]int32, nNodes)
+	e.edges = make([]*road.Edge, len(net.Edges))
+	e.tail = make([]int32, len(net.Edges))
+	e.head = make([]int32, len(net.Edges))
+	e.lengthM = make([]float64, len(net.Edges))
+	e.sibling = make([]int32, len(net.Edges))
+	edgeAt := make(map[*road.Edge]int32, len(net.Edges))
+	for i, ed := range net.Edges {
+		from, ok := e.idx[ed.From]
+		if !ok {
+			return nil, fmt.Errorf("ecoroute: edge %s from unknown node %d", ed.Road.ID(), ed.From)
+		}
+		to, ok := e.idx[ed.To]
+		if !ok {
+			return nil, fmt.Errorf("ecoroute: edge %s to unknown node %d", ed.Road.ID(), ed.To)
+		}
+		e.edges[i] = ed
+		e.tail[i] = int32(from)
+		e.head[i] = int32(to)
+		e.lengthM[i] = ed.Road.Length()
+		e.sibling[i] = -1
+		edgeAt[ed] = int32(i)
+	}
+	// Adjacency comes from the network's own forward and reverse indices so
+	// the engine sees exactly the graph road.Network serves.
+	for dense, id := range e.ids {
+		for _, ed := range net.Outgoing(id) {
+			e.out[dense] = append(e.out[dense], edgeAt[ed])
+		}
+		for _, ed := range net.Incoming(id) {
+			e.in[dense] = append(e.in[dense], edgeAt[ed])
+		}
+	}
+	// Pair each edge with its opposite-direction sibling (same endpoints,
+	// reversed) so the cloud source can fall back to a sign-flipped profile
+	// when only one direction has been driven.
+	for i, ed := range e.edges {
+		if e.sibling[i] >= 0 {
+			continue
+		}
+		for _, j := range e.out[e.head[i]] {
+			other := e.edges[j]
+			if other.From == ed.To && other.To == ed.From {
+				e.sibling[i] = j
+				e.sibling[j] = int32(i)
+				break
+			}
+		}
+	}
+	// Travel times are grade-independent: fix them now, one row per bucket.
+	e.timeS = make([][]float64, len(cfg.SpeedsKmh))
+	for b, kmh := range cfg.SpeedsKmh {
+		row := make([]float64, len(e.edges))
+		for i, ed := range e.edges {
+			v := kmh / 3.6 * cfg.classFactor(ed.Road.Class())
+			row[i] = e.lengthM[i] / v
+		}
+		e.timeS[b] = row
+	}
+	return e, nil
+}
+
+// Network returns the engine's road network.
+func (e *Engine) Network() *road.Network { return e.net }
+
+// SpeedsKmh returns the configured cruise-speed buckets.
+func (e *Engine) SpeedsKmh() []float64 {
+	return append([]float64(nil), e.cfg.SpeedsKmh...)
+}
+
+// bucketFor snaps a cruise speed to the nearest configured bucket.
+func (e *Engine) bucketFor(speedKmh float64) (int, error) {
+	if speedKmh <= 0 || math.IsNaN(speedKmh) || math.IsInf(speedKmh, 0) {
+		return 0, fmt.Errorf("ecoroute: invalid cruise speed %v km/h", speedKmh)
+	}
+	best, bestGap := 0, math.Inf(1)
+	for i, s := range e.cfg.SpeedsKmh {
+		if gap := math.Abs(s - speedKmh); gap < bestGap {
+			best, bestGap = i, gap
+		}
+	}
+	return best, nil
+}
+
+// Errors a caller can branch on.
+var (
+	// ErrUnknownNode marks a query endpoint that is not in the network.
+	ErrUnknownNode = errors.New("ecoroute: unknown node")
+	// ErrNoPath marks a disconnected origin/destination pair.
+	ErrNoPath = errors.New("ecoroute: no path")
+)
+
+// Plan is one answered routing query.
+type Plan struct {
+	From, To  int
+	Objective Objective
+	// SpeedKmh is the snapped cruise-speed bucket the plan was costed at.
+	SpeedKmh float64
+	// RoadIDs are the traversed roads in travel order.
+	RoadIDs []string
+	// Nodes are the visited junction IDs, From first, To last.
+	Nodes []int
+	// Cost is the summed edge cost under the objective (m, s, gal, or g).
+	Cost    float64
+	LengthM float64
+	TimeS   float64
+	FuelGal float64
+	CO2G    float64
+}
+
+// buildPlan assembles the public result from an edge-index path. Costs are
+// summed in travel order so the identical path always produces the
+// bit-identical total, regardless of which search found it.
+func (e *Engine) buildPlan(obj Objective, bucket int, tb *tables, from, to int, path []int32) Plan {
+	p := Plan{
+		From:      from,
+		To:        to,
+		Objective: obj,
+		SpeedKmh:  e.cfg.SpeedsKmh[bucket],
+		RoadIDs:   make([]string, 0, len(path)),
+		Nodes:     make([]int, 0, len(path)+1),
+	}
+	p.Nodes = append(p.Nodes, from)
+	fuelRow := tb.fuel[bucket]
+	timeRow := e.timeS[bucket]
+	for _, ei := range path {
+		p.RoadIDs = append(p.RoadIDs, e.edges[ei].Road.ID())
+		p.Nodes = append(p.Nodes, e.ids[e.head[ei]])
+		p.LengthM += e.lengthM[ei]
+		p.TimeS += timeRow[ei]
+		p.FuelGal += fuelRow[ei]
+	}
+	p.CO2G = p.FuelGal * fuel.CO2GramsPerGallon
+	cost := e.costRow(obj, bucket, tb)
+	for _, ei := range path {
+		p.Cost += cost[ei]
+	}
+	return p
+}
+
+// costRow returns the per-edge cost slice for an objective. CO2 shares
+// Fuel's row scaled by the emission factor (same argmin, gram-denominated
+// cost); the scaled row is built lazily per snapshot.
+func (e *Engine) costRow(obj Objective, bucket int, tb *tables) []float64 {
+	switch obj {
+	case Distance:
+		return e.lengthM
+	case Time:
+		return e.timeS[bucket]
+	case CO2:
+		return tb.co2Row(bucket)
+	default:
+		return tb.fuel[bucket]
+	}
+}
+
+// metricFor collapses objectives onto the distinct search metrics: CO2 is a
+// constant multiple of Fuel, so both route on the fuel row and share ALT
+// landmark tables.
+func metricFor(obj Objective) Objective {
+	if obj == CO2 {
+		return Fuel
+	}
+	return obj
+}
+
+// Route answers a point-to-point query with bidirectional Dijkstra pruned by
+// ALT landmark lower bounds. The returned plan's Cost is bit-identical to
+// RouteDijkstra's for the same query.
+func (e *Engine) Route(obj Objective, speedKmh float64, from, to int) (Plan, error) {
+	return e.route(obj, speedKmh, from, to, true)
+}
+
+// RouteDijkstra answers the same query with plain one-directional Dijkstra —
+// the reference implementation the optimized search is verified against.
+func (e *Engine) RouteDijkstra(obj Objective, speedKmh float64, from, to int) (Plan, error) {
+	return e.route(obj, speedKmh, from, to, false)
+}
+
+func (e *Engine) route(obj Objective, speedKmh float64, from, to int, fast bool) (Plan, error) {
+	defer observeRoute(obj)()
+	bucket, err := e.bucketFor(speedKmh)
+	if err != nil {
+		return Plan{}, err
+	}
+	s, ok := e.idx[from]
+	if !ok {
+		return Plan{}, fmt.Errorf("%w %d", ErrUnknownNode, from)
+	}
+	t, ok := e.idx[to]
+	if !ok {
+		return Plan{}, fmt.Errorf("%w %d", ErrUnknownNode, to)
+	}
+	tb, err := e.fresh()
+	if err != nil {
+		return Plan{}, err
+	}
+	if s == t {
+		return e.buildPlan(obj, bucket, tb, from, to, nil), nil
+	}
+	cost := e.costRow(metricFor(obj), bucket, tb)
+	var path []int32
+	if fast {
+		lm := e.landmarksFor(metricFor(obj), bucket, tb)
+		path, ok = e.searchBidirectional(cost, lm, int32(s), int32(t))
+	} else {
+		path, ok = e.searchDijkstra(cost, int32(s), int32(t))
+	}
+	if !ok {
+		return Plan{}, fmt.Errorf("%w from %d to %d", ErrNoPath, from, to)
+	}
+	return e.buildPlan(obj, bucket, tb, from, to, path), nil
+}

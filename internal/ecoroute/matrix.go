@@ -1,0 +1,135 @@
+package ecoroute
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"roadgrade/internal/fuel"
+)
+
+// Matrix answers a batched many-to-many query: the cost from every source to
+// every target under the objective, as a [len(sources)][len(targets)] grid
+// (+Inf where no path exists). Each source runs one one-to-all search that
+// stops once all targets settle; sources fan out across a bounded worker
+// pool (the experiment suite's parallelFor pattern: indices are independent,
+// randomness-free, and the first error aborts the remaining work).
+func (e *Engine) Matrix(obj Objective, speedKmh float64, sources, targets []int) ([][]float64, error) {
+	bucket, err := e.bucketFor(speedKmh)
+	if err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 || len(targets) == 0 {
+		return nil, fmt.Errorf("ecoroute: empty matrix query (%d sources, %d targets)", len(sources), len(targets))
+	}
+	tb, err := e.fresh()
+	if err != nil {
+		return nil, err
+	}
+	cost := e.costRow(metricFor(obj), bucket, tb)
+
+	denseT := make([]int32, len(targets))
+	targetSet := make(map[int32]bool, len(targets))
+	for i, id := range targets {
+		d, ok := e.idx[id]
+		if !ok {
+			return nil, fmt.Errorf("%w %d", ErrUnknownNode, id)
+		}
+		denseT[i] = int32(d)
+		targetSet[int32(d)] = true
+	}
+	denseS := make([]int32, len(sources))
+	for i, id := range sources {
+		d, ok := e.idx[id]
+		if !ok {
+			return nil, fmt.Errorf("%w %d", ErrUnknownNode, id)
+		}
+		denseS[i] = int32(d)
+	}
+
+	out := make([][]float64, len(sources))
+	scale := 1.0
+	if obj == CO2 {
+		// The search runs on the fuel row; scale the reported costs.
+		scale = fuel.CO2GramsPerGallon
+	}
+	err = parallelFor(len(sources), func(i int) error {
+		dist := make([]float64, len(e.ids))
+		oneToAll(e.out, e.head, cost, denseS[i], dist, targetSet)
+		row := make([]float64, len(denseT))
+		for j, t := range denseT {
+			if math.IsInf(dist[t], 1) {
+				row[j] = math.Inf(1)
+				continue
+			}
+			row[j] = dist[t] * scale
+		}
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parallelFor runs fn(i) for i in [0, n) on a bounded worker pool and
+// returns the first error; remaining indices are drained, not executed,
+// after a failure. Mirrors internal/experiment's worker pattern.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	done := make(chan struct{})
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if failed() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+						close(done)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

@@ -40,6 +40,7 @@ func Registry() map[string]Runner {
 		"speedsweep":   SpeedSweep,
 		"journey":      Journey,
 		"routing":      Routing,
+		"ecoroutes":    EcoRoutes,
 	}
 }
 

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEcoRoutes checks the panel invariants: three planner rows plus the two
+// savings rows, the min-fuel planner no worse on fuel than either
+// alternative, and the shortest planner shortest on mean length.
+func TestEcoRoutes(t *testing.T) {
+	tb, err := EcoRoutes(quickOpt)
+	if err != nil {
+		t.Fatalf("EcoRoutes: %v", err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("got %d rows, want 3 planners + 2 savings", len(tb.Rows))
+	}
+	col := func(row int, c int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[row][c], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d %q: %v", row, c, tb.Rows[row][c], err)
+		}
+		return v
+	}
+	shortLen, fastLen, ecoLen := col(0, 1), col(1, 1), col(2, 1)
+	shortFuel, fastFuel, ecoFuel := col(0, 3), col(1, 3), col(2, 3)
+	if ecoFuel > shortFuel || ecoFuel > fastFuel {
+		t.Errorf("min-fuel planner burns %.4f gal, shortest %.4f, fastest %.4f — eco must be minimal",
+			ecoFuel, shortFuel, fastFuel)
+	}
+	if shortLen > fastLen || shortLen > ecoLen {
+		t.Errorf("shortest planner drives %.3f km, fastest %.3f, eco %.3f — shortest must be minimal",
+			shortLen, fastLen, ecoLen)
+	}
+	if !strings.HasSuffix(tb.Rows[3][1], "%") || !strings.HasSuffix(tb.Rows[4][1], "%") {
+		t.Errorf("savings rows %q / %q not percentages", tb.Rows[3][1], tb.Rows[4][1])
+	}
+	if !strings.Contains(tb.Note, "gradebench -exp ecoroutes") {
+		t.Error("note lacks the reproduction command")
+	}
+}

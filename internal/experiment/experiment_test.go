@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		// Extension studies.
 		"misalignment", "multivehicle", "ablation", "robustness", "robustsweep",
 		"speedsweep",
-		"journey", "routing",
+		"journey", "routing", "ecoroutes",
 	}
 	reg := Registry()
 	for _, name := range want {

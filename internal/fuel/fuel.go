@@ -317,8 +317,8 @@ type CruisePoint struct {
 // applications the paper motivates. Speeds are in km/h, swept inclusively
 // with the given step.
 func EconomyCurve(r *road.Road, grade GradeFunc, p VSPParams, minKmh, maxKmh, stepKmh float64) ([]CruisePoint, error) {
-	if minKmh <= 0 || maxKmh < minKmh || stepKmh <= 0 {
-		return nil, fmt.Errorf("fuel: invalid speed sweep [%v, %v] step %v", minKmh, maxKmh, stepKmh)
+	if err := validateSweep(minKmh, maxKmh, stepKmh); err != nil {
+		return nil, err
 	}
 	var out []CruisePoint
 	for kmh := minKmh; kmh <= maxKmh+1e-9; kmh += stepKmh {
@@ -335,6 +335,31 @@ func EconomyCurve(r *road.Road, grade GradeFunc, p VSPParams, minKmh, maxKmh, st
 	return out, nil
 }
 
+// validateSweep rejects degenerate speed sweeps up front. A NaN bound or
+// step would otherwise terminate the sweep loop immediately and return an
+// empty curve (NaN comparisons are false), a zero-width [min, min] range
+// would silently "optimize" over a single point, and a non-positive step
+// would never advance — all are caller bugs better surfaced as errors than
+// as empty or NaN results.
+func validateSweep(minKmh, maxKmh, stepKmh float64) error {
+	for _, v := range [...]float64{minKmh, maxKmh, stepKmh} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fuel: non-finite speed sweep [%v, %v] step %v", minKmh, maxKmh, stepKmh)
+		}
+	}
+	switch {
+	case minKmh <= 0:
+		return fmt.Errorf("fuel: sweep start %v km/h must be positive", minKmh)
+	case maxKmh == minKmh:
+		return fmt.Errorf("fuel: degenerate speed sweep [%v, %v]: zero-width range", minKmh, maxKmh)
+	case maxKmh < minKmh:
+		return fmt.Errorf("fuel: inverted speed sweep [%v, %v]", minKmh, maxKmh)
+	case stepKmh <= 0:
+		return fmt.Errorf("fuel: sweep step %v km/h must be positive", stepKmh)
+	}
+	return nil
+}
+
 // OptimalCruise returns the speed (km/h) minimizing gallons per km on a
 // road, and the economy achieved there. Low speeds waste idle/base fuel per
 // km; high speeds waste drag — the optimum sits between.
@@ -342,6 +367,9 @@ func OptimalCruise(r *road.Road, grade GradeFunc, p VSPParams, minKmh, maxKmh fl
 	curve, err := EconomyCurve(r, grade, p, minKmh, maxKmh, 1)
 	if err != nil {
 		return CruisePoint{}, err
+	}
+	if len(curve) == 0 {
+		return CruisePoint{}, fmt.Errorf("fuel: empty economy curve for sweep [%v, %v]", minKmh, maxKmh)
 	}
 	best := curve[0]
 	for _, pt := range curve[1:] {

@@ -307,16 +307,82 @@ func TestEconomyCurveShape(t *testing.T) {
 	}
 }
 
-func TestEconomyCurveErrors(t *testing.T) {
+// TestSpeedSweepValidation: degenerate sweep inputs (zero-width range,
+// non-positive step, non-finite bounds) must surface as explicit errors from
+// both EconomyCurve and OptimalCruise — never as silent empty curves or NaN
+// points.
+func TestSpeedSweepValidation(t *testing.T) {
 	r, _ := road.StraightRoad("eco", 500, 0, 1)
-	if _, err := EconomyCurve(r, TrueGrade, TableII(), 0, 100, 10); err == nil {
-		t.Error("zero min should error")
+	p := TableII()
+	cases := []struct {
+		name          string
+		min, max, sep float64
+		wantErr       bool
+	}{
+		{"valid", 10, 100, 10, false},
+		{"zero min", 0, 100, 10, true},
+		{"negative min", -5, 100, 10, true},
+		{"inverted range", 100, 50, 10, true},
+		{"degenerate min==max", 50, 50, 1, true},
+		{"zero step", 10, 100, 0, true},
+		{"negative step", 10, 100, -1, true},
+		{"NaN min", math.NaN(), 100, 10, true},
+		{"NaN max", 10, math.NaN(), 10, true},
+		{"NaN step", 10, 100, math.NaN(), true},
+		{"Inf max", 10, math.Inf(1), 10, true},
+		{"Inf step", 10, 100, math.Inf(1), true},
 	}
-	if _, err := EconomyCurve(r, TrueGrade, TableII(), 100, 50, 10); err == nil {
-		t.Error("inverted range should error")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			curve, err := EconomyCurve(r, TrueGrade, p, tc.min, tc.max, tc.sep)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("EconomyCurve(%v, %v, %v) = %d points, want error", tc.min, tc.max, tc.sep, len(curve))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("EconomyCurve(%v, %v, %v): %v", tc.min, tc.max, tc.sep, err)
+			}
+			if len(curve) == 0 {
+				t.Fatal("valid sweep returned an empty curve")
+			}
+			for _, pt := range curve {
+				if math.IsNaN(pt.GallonsPerKm) || math.IsNaN(pt.SpeedKmh) {
+					t.Fatalf("valid sweep produced NaN point %+v", pt)
+				}
+			}
+		})
 	}
-	if _, err := EconomyCurve(r, TrueGrade, TableII(), 10, 100, 0); err == nil {
-		t.Error("zero step should error")
+
+	// OptimalCruise shares the validation (step fixed at 1 km/h).
+	optCases := []struct {
+		name     string
+		min, max float64
+		wantErr  bool
+	}{
+		{"valid", 10, 120, false},
+		{"degenerate min==max", 60, 60, true},
+		{"inverted", 80, 20, true},
+		{"zero min", 0, 120, true},
+		{"NaN bound", math.NaN(), 120, true},
+	}
+	for _, tc := range optCases {
+		t.Run("optimal/"+tc.name, func(t *testing.T) {
+			best, err := OptimalCruise(r, TrueGrade, p, tc.min, tc.max)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("OptimalCruise(%v, %v) = %+v, want error", tc.min, tc.max, best)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("OptimalCruise(%v, %v): %v", tc.min, tc.max, err)
+			}
+			if math.IsNaN(best.GallonsPerKm) {
+				t.Fatalf("valid optimum is NaN: %+v", best)
+			}
+		})
 	}
 }
 

@@ -29,14 +29,16 @@ type Network struct {
 	Nodes []Node
 	Edges []*Edge
 	adj   map[int][]*Edge
+	radj  map[int][]*Edge
 }
 
-// NewNetwork assembles a network and builds the adjacency index.
+// NewNetwork assembles a network and builds the forward and reverse
+// adjacency indices.
 func NewNetwork(nodes []Node, edges []*Edge) (*Network, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("road: network needs nodes")
 	}
-	n := &Network{Nodes: nodes, Edges: edges, adj: make(map[int][]*Edge)}
+	n := &Network{Nodes: nodes, Edges: edges, adj: make(map[int][]*Edge), radj: make(map[int][]*Edge)}
 	valid := make(map[int]bool, len(nodes))
 	for _, node := range nodes {
 		if valid[node.ID] {
@@ -49,12 +51,17 @@ func NewNetwork(nodes []Node, edges []*Edge) (*Network, error) {
 			return nil, fmt.Errorf("road: edge %s references unknown node %d->%d", e.Road.ID(), e.From, e.To)
 		}
 		n.adj[e.From] = append(n.adj[e.From], e)
+		n.radj[e.To] = append(n.radj[e.To], e)
 	}
 	return n, nil
 }
 
 // Outgoing returns the edges leaving node id.
 func (n *Network) Outgoing(id int) []*Edge { return n.adj[id] }
+
+// Incoming returns the edges entering node id — the reverse adjacency used
+// by backward graph searches (e.g. the bidirectional eco-router).
+func (n *Network) Incoming(id int) []*Edge { return n.radj[id] }
 
 // TotalLengthM returns the summed length of all directed edges divided by
 // two (each street appears in both directions), i.e. the street length.

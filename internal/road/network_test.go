@@ -1,0 +1,63 @@
+package road
+
+import "testing"
+
+// TestAdjacencyForwardReverseConsistency: the reverse-adjacency index must be
+// the exact mirror of the forward index — every directed edge appears exactly
+// once in Outgoing(e.From) and exactly once in Incoming(e.To), and nowhere
+// else. Backward graph searches rely on this.
+func TestAdjacencyForwardReverseConsistency(t *testing.T) {
+	net, err := GenerateNetwork(99, NetworkConfig{TargetStreetKM: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Edges) == 0 {
+		t.Fatal("generated network has no edges")
+	}
+
+	outCount := 0
+	for _, n := range net.Nodes {
+		for _, e := range net.Outgoing(n.ID) {
+			if e.From != n.ID {
+				t.Fatalf("Outgoing(%d) contains edge %s from %d", n.ID, e.Road.ID(), e.From)
+			}
+			outCount++
+		}
+	}
+	inCount := 0
+	for _, n := range net.Nodes {
+		for _, e := range net.Incoming(n.ID) {
+			if e.To != n.ID {
+				t.Fatalf("Incoming(%d) contains edge %s to %d", n.ID, e.Road.ID(), e.To)
+			}
+			inCount++
+		}
+	}
+	if outCount != len(net.Edges) || inCount != len(net.Edges) {
+		t.Fatalf("adjacency sizes out=%d in=%d, want %d each", outCount, inCount, len(net.Edges))
+	}
+
+	// Each edge pointer is findable through both indices.
+	for _, e := range net.Edges {
+		found := false
+		for _, o := range net.Outgoing(e.From) {
+			if o == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %s missing from Outgoing(%d)", e.Road.ID(), e.From)
+		}
+		found = false
+		for _, in := range net.Incoming(e.To) {
+			if in == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("edge %s missing from Incoming(%d)", e.Road.ID(), e.To)
+		}
+	}
+}

@@ -3,17 +3,20 @@
 # B/op and allocs/op per benchmark:
 #
 #   - the Figure 9/10 experiments plus the geo ClosestS micro-benchmarks
-#     (PR 1 baseline), and
+#     (PR 1 baseline),
 #   - the cloud serving benchmarks — sharded store vs the pre-sharding
-#     legacy path (PR 4 baseline).
+#     legacy path (PR 4 baseline), and
+#   - the eco-routing benchmarks — warm/cold query latency, invalidation
+#     cost, and the warm /v1/route serving path (PR 5 baseline).
 #
-# Usage: scripts/bench.sh [pr1.json] [pr4.json]
-#   (defaults BENCH_PR1.json and BENCH_PR4.json)
+# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json]
+#   (defaults BENCH_PR1.json, BENCH_PR4.json and BENCH_PR5.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 out1="${1:-BENCH_PR1.json}"
 out4="${2:-BENCH_PR4.json}"
+out5="${3:-BENCH_PR5.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -52,3 +55,8 @@ go test -run '^$' -bench 'BenchmarkServer|BenchmarkHandleFused' -benchmem ./inte
 emit_json "$tmp" >"$out4"
 echo "wrote $out4:"
 cat "$out4"
+
+go test -run '^$' -bench 'BenchmarkEcoRoute' -benchmem ./internal/ecoroute ./internal/cloud >"$tmp"
+emit_json "$tmp" >"$out5"
+echo "wrote $out5:"
+cat "$out5"

@@ -1,15 +1,22 @@
 #!/bin/sh
 # Guard rail that instrumentation (or any other change) stayed off the hot
-# paths: rerun the PR 1 benchmark family (pipeline experiments + geo) and the
-# PR 4 serving family (sharded cloud store vs legacy) and fail if any
-# benchmark regresses more than its tolerance vs the committed baselines.
+# paths: rerun the PR 1 benchmark family (pipeline experiments + geo), the
+# PR 4 serving family (sharded cloud store vs legacy), and the PR 5
+# eco-routing family (warm/cold queries, invalidation, /v1/route) and fail
+# if any benchmark regresses more than its tolerance vs the committed
+# baselines.
 #
-# Usage: scripts/bench_check.sh [pr1-baseline.json] [pr4-baseline.json]
+# Usage: scripts/bench_check.sh [pr1.json] [pr4.json] [pr5.json]
 #   BENCH_TOLERANCE_PCT           allowed ns/op regression for the PR 1
 #                                 family (default 10)
 #   BENCH_SERVING_TOLERANCE_PCT   allowed ns/op regression for the serving
 #                                 family; parallel mixed-load benchmarks are
 #                                 noisier, so the default is looser (30)
+#   BENCH_ECOROUTE_TOLERANCE_PCT  allowed ns/op regression for the
+#                                 eco-routing family; the cold-query and
+#                                 invalidation benches re-integrate fuel
+#                                 costs over the whole network per op, so
+#                                 the default is looser (30)
 #   BENCH_COUNT                   runs per benchmark; the best run is
 #                                 compared, which filters scheduler noise
 #                                 (default 3)
@@ -18,11 +25,13 @@ set -eu
 cd "$(dirname "$0")/.."
 baseline1="${1:-BENCH_PR1.json}"
 baseline4="${2:-BENCH_PR4.json}"
+baseline5="${3:-BENCH_PR5.json}"
 tol1="${BENCH_TOLERANCE_PCT:-10}"
 tol4="${BENCH_SERVING_TOLERANCE_PCT:-30}"
+tol5="${BENCH_ECOROUTE_TOLERANCE_PCT:-30}"
 count="${BENCH_COUNT:-3}"
 
-for b in "$baseline1" "$baseline4"; do
+for b in "$baseline1" "$baseline4" "$baseline5"; do
     if [ ! -f "$b" ]; then
         echo "bench_check: baseline $b not found" >&2
         exit 1
@@ -94,3 +103,6 @@ compare "$tmp" "$baseline1" "$tol1"
 
 go test -run '^$' -bench 'BenchmarkServer|BenchmarkHandleFused' -benchmem -count="$count" ./internal/cloud >"$tmp"
 compare "$tmp" "$baseline4" "$tol4"
+
+go test -run '^$' -bench 'BenchmarkEcoRoute' -benchmem -count="$count" ./internal/ecoroute ./internal/cloud >"$tmp"
+compare "$tmp" "$baseline5" "$tol5"

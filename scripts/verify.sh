@@ -19,10 +19,11 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race (serving concurrency gate) =="
-# The sharded cloud store and the fusion accumulator are the packages with
-# real lock hierarchies; run them first, uncached, so a data race there fails
+# The sharded cloud store, the fusion accumulator, and the eco-routing
+# engine (atomic snapshot swap + landmark cache) are the packages with real
+# lock hierarchies; run them first, uncached, so a data race there fails
 # fast with a focused report.
-go test -race -count=1 ./internal/cloud/... ./internal/fusion/...
+go test -race -count=1 ./internal/cloud/... ./internal/fusion/... ./internal/ecoroute/...
 
 echo "== go test -race =="
 go test -race ./...
