@@ -9,6 +9,9 @@
 // API:
 //
 //	POST /v1/roads/{id}/profiles   {"spacing_m":5,"grade_rad":[...],"var":[...]}
+//	POST /v1/submit-batch          many submissions per request (JSON or the
+//	                               binary codec; gzip supported both ways),
+//	                               folded through the write coalescer
 //	GET  /v1/roads/{id}/profile
 //	GET  /v1/roads
 //	GET  /v1/route                 eco-routing over the fused map (needs -route-km)
@@ -100,6 +103,9 @@ func run() error {
 	shards := flag.Int("shards", 0, "store shard count, rounded up to a power of two (0: default 32)")
 	routeKM := flag.Float64("route-km", 0, "enable GET /v1/route over a generated network of this many street-km (0 disables; 164.8 is the paper's area)")
 	routeSeed := flag.Int64("route-seed", 1827, "network generator seed for -route-km")
+	coalesce := flag.Bool("coalesce", true, "batched submits fold through per-shard write coalescing with admission control")
+	queueDepth := flag.Int("queue-depth", 1024, "coalescer queue depth per shard (backpressure threshold)")
+	batchMax := flag.Int("batch-max", 256, "max submissions folded per shard-lock acquisition")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -114,6 +120,13 @@ func run() error {
 		fusionSrv = cloud.NewServer()
 	}
 	fusionSrv.Logger = logger
+	if *coalesce {
+		fusionSrv.EnableCoalescing(cloud.CoalesceConfig{
+			QueueDepth: *queueDepth,
+			BatchMax:   *batchMax,
+		})
+		logger.Info("write coalescing enabled", "queue_depth", *queueDepth, "batch_max", *batchMax)
+	}
 	if *routeKM > 0 {
 		// Eco-routing over this server's own fused store: routes follow the
 		// crowd-sourced gradient map as submissions land, falling back to
@@ -178,6 +191,7 @@ func run() error {
 		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		shutdownDebug(shutCtx)
+		fusionSrv.Close()
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
@@ -191,6 +205,9 @@ func run() error {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
+		// With no more requests in flight, fold what the coalescer still has
+		// queued before exiting: accepted items must not be lost.
+		fusionSrv.Close()
 		logger.Info("stopped", "uptime", time.Since(start))
 		return nil
 	}

@@ -1,0 +1,387 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"roadgrade/internal/cloud"
+	"roadgrade/internal/fusion"
+	"roadgrade/internal/obs"
+)
+
+// Fleet mode simulates the paper's crowd-sourcing stage at scale: N synthetic
+// phones, each with its own vehicle class, sensor noise level, and calibration
+// bias, repeatedly sense a road, estimate its gradient profile, and upload in
+// batches through POST /v1/submit-batch. The harness multiplexes phones over
+// a bounded worker pool (a goroutine per phone would melt at 1M), so memory
+// is O(workers + phones-worth-of-static-attrs), not O(phones) goroutines.
+//
+// Everything is deterministic per -seed: a device's class, bias, and noise
+// come from a per-device RNG, and its per-round drive from a per-(device,
+// round) RNG, so two runs offer the same workload.
+
+// vehicleClass shapes a device population segment. sigma is the class's
+// typical gradient-noise level in radians (phones in trucks shake more than
+// phones in cars); biasMax bounds the fixed mounting-angle bias a device
+// carries across all of its drives.
+type vehicleClass struct {
+	name    string
+	frac    float64
+	sigma   float64
+	biasMax float64
+}
+
+// builtinClasses are the known -mix names.
+var builtinClasses = map[string]vehicleClass{
+	"car":   {name: "car", sigma: 0.002, biasMax: 0.001},
+	"truck": {name: "truck", sigma: 0.004, biasMax: 0.002},
+	"bus":   {name: "bus", sigma: 0.003, biasMax: 0.0015},
+}
+
+// parseMix parses "car:0.7,truck:0.25,bus:0.05" into classes with fractions.
+// Names must be known classes; fractions must be non-negative and sum to 1
+// (within rounding).
+func parseMix(s string) ([]vehicleClass, error) {
+	var out []vehicleClass
+	sum := 0.0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, fracStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name:fraction", part)
+		}
+		cls, known := builtinClasses[strings.TrimSpace(name)]
+		if !known {
+			return nil, fmt.Errorf("mix entry %q: unknown vehicle class (known: car, truck, bus)", part)
+		}
+		frac, err := strconv.ParseFloat(strings.TrimSpace(fracStr), 64)
+		if err != nil || frac < 0 {
+			return nil, fmt.Errorf("mix entry %q: bad fraction", part)
+		}
+		cls.frac = frac
+		out = append(out, cls)
+		sum += frac
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty -mix")
+	}
+	if math.Abs(sum-1) > 0.01 {
+		return nil, fmt.Errorf("mix fractions sum to %.3f, want 1", sum)
+	}
+	return out, nil
+}
+
+// device is one phone's static attributes, derived deterministically from the
+// fleet seed and the device id.
+type device struct {
+	class byte    // index into the mix
+	bias  float64 // fixed calibration bias folded into every estimate
+	sigma float64 // this device's noise level (class sigma scaled 0.5x-1.5x)
+}
+
+// devicePRNGMix decorrelates adjacent device ids into well-spread seeds
+// (splitmix64's golden-ratio increment).
+const devicePRNGMix uint64 = 0x9E3779B97F4A7C15
+
+func deriveDevice(seed int64, id int, mix []vehicleClass) device {
+	rng := rand.New(rand.NewSource(seed ^ int64(uint64(id)*devicePRNGMix)))
+	u := rng.Float64()
+	cls := 0
+	for acc, i := 0.0, 0; i < len(mix); i++ {
+		acc += mix[i].frac
+		if u < acc {
+			cls = i
+			break
+		}
+		cls = i // rounding tail lands on the last class
+	}
+	c := mix[cls]
+	return device{
+		class: byte(cls),
+		bias:  c.biasMax * (2*rng.Float64() - 1),
+		sigma: c.sigma * (0.5 + rng.Float64()),
+	}
+}
+
+// senseRoad is the phone-side sense->estimate step: the road's true terrain
+// (deterministic per road id) plus the device's bias and noise, with the
+// variance the device reports for its own noise level.
+func senseRoad(rng *rand.Rand, dev device, road, cells int) *fusion.Profile {
+	p := &fusion.Profile{
+		SpacingM: 5,
+		S:        make([]float64, cells),
+		GradeRad: make([]float64, cells),
+		Var:      make([]float64, cells),
+	}
+	phase := float64(road)
+	variance := dev.sigma * dev.sigma
+	for i := 0; i < cells; i++ {
+		p.S[i] = float64(i) * 5
+		p.GradeRad[i] = 0.03*math.Sin(float64(i)/40+phase) + dev.bias + dev.sigma*rng.NormFloat64()
+		p.Var[i] = variance
+	}
+	return p
+}
+
+// fleetReport is the result of one fleet run.
+type fleetReport struct {
+	Config  config
+	Classes []vehicleClass
+	Counts  []uint64 // devices per class, aligned with Classes
+
+	Submissions uint64 // offered (phones x rounds)
+	Accepted    uint64
+	Duplicate   uint64
+	Rejected    uint64
+	Shed        uint64 // still shed after the client's retry budget
+	Errors      uint64 // whole-batch transport failures
+
+	Wall      time.Duration
+	Sustained float64 // accepted submissions per second
+	BatchRTT  opStats // per-request SubmitBatch latency
+
+	registry *obs.Registry
+}
+
+func (r *fleetReport) String() string {
+	mode := "in-process"
+	if r.Config.addr != "" {
+		mode = r.Config.addr
+	}
+	codec := "json"
+	if r.Config.binary {
+		codec = "binary"
+	}
+	if r.Config.gzipOn {
+		codec += "+gzip"
+	}
+	var classes strings.Builder
+	for i, c := range r.Classes {
+		if i > 0 {
+			classes.WriteString("  ")
+		}
+		fmt.Fprintf(&classes, "%s %.1f%%", c.name, 100*float64(r.Counts[i])/float64(r.Config.phones))
+	}
+	return fmt.Sprintf(
+		"cloudload fleet: %s · %d phones · %d rounds · batch %d (%s) · %d workers · %d roads · seed %d\n"+
+			"  submissions %d  (accepted %d, dup %d, rejected %d, shed %d, errors %d)\n"+
+			"  wall        %v\n"+
+			"  sustained   %.0f submissions/s\n"+
+			"  batch RTT   p50 %7.3fms  p95 %7.3fms  p99 %7.3fms  (n=%d)\n"+
+			"  classes     %s\n",
+		mode, r.Config.phones, r.Config.rounds, r.Config.batch, codec, r.Config.clients, r.Config.roads, r.Config.seed,
+		r.Submissions, r.Accepted, r.Duplicate, r.Rejected, r.Shed, r.Errors,
+		r.Wall.Round(time.Millisecond), r.Sustained,
+		r.BatchRTT.P50*1e3, r.BatchRTT.P95*1e3, r.BatchRTT.P99*1e3, r.BatchRTT.Count,
+		classes.String())
+}
+
+// validateFleet fills fleet defaults and rejects nonsense. The shared knobs
+// (clients, roads, cells, conns, retries) are validated here too, since
+// validate() is the per-op harness's gate.
+func (cfg *config) validateFleet() ([]vehicleClass, error) {
+	if cfg.clients < 1 || cfg.roads < 1 || cfg.cells < 1 {
+		return nil, errors.New("clients, roads and cells must be >= 1")
+	}
+	if cfg.phones < 1 {
+		return nil, errors.New("-phones must be >= 1")
+	}
+	if cfg.rounds < 1 {
+		return nil, errors.New("-rounds must be >= 1")
+	}
+	if cfg.batch < 1 || cfg.batch > 4096 {
+		return nil, errors.New("-batch must be in [1, 4096]")
+	}
+	if cfg.stagger < 0 {
+		return nil, errors.New("-stagger must be >= 0")
+	}
+	mix, err := parseMix(cfg.mix)
+	if err != nil {
+		return nil, fmt.Errorf("-mix: %w", err)
+	}
+	if cfg.conns <= 0 {
+		cfg.conns = cfg.clients
+	}
+	if cfg.retries < 1 {
+		cfg.retries = 1
+	}
+	return mix, nil
+}
+
+// runFleet executes one fleet simulation and returns the report.
+func runFleet(cfg config) (*fleetReport, error) {
+	mix, err := cfg.validateFleet()
+	if err != nil {
+		return nil, err
+	}
+
+	base := cfg.addr
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("listening: %w", err)
+		}
+		var srv *cloud.Server
+		if cfg.shards > 0 {
+			srv = cloud.NewServerWithShards(cfg.shards)
+		} else {
+			srv = cloud.NewServer()
+		}
+		srv.EnableCoalescing(cloud.CoalesceConfig{
+			QueueDepth: cfg.queueDepth,
+			BatchMax:   cfg.batchMax,
+		})
+		defer srv.Close()
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+	}
+
+	// Static per-device attributes, derived once. 1M devices is ~17 MB.
+	devices := make([]device, cfg.phones)
+	counts := make([]uint64, len(mix))
+	for id := range devices {
+		devices[id] = deriveDevice(cfg.seed, id, mix)
+		counts[devices[id].class]++
+	}
+
+	hc := &http.Client{Transport: cloud.NewTransport(cfg.conns)}
+	defer hc.CloseIdleConnections()
+
+	reg := obs.NewRegistry()
+	batchHist := reg.Histogram("cloudload_fleet_batch_seconds", obs.LatencyBuckets)
+	var accepted, duplicate, rejected, shed, errCount atomic.Uint64
+
+	var wg sync.WaitGroup
+	workerErr := make(chan error, cfg.clients)
+	start := time.Now()
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := []cloud.Option{
+				cloud.WithRetry(cfg.retries, 50*time.Millisecond, time.Second),
+				cloud.WithPerTryTimeout(30 * time.Second),
+				cloud.WithBinaryBatch(cfg.binary),
+				cloud.WithGzip(cfg.gzipOn),
+			}
+			c, err := cloud.NewClient(base, hc, opts...)
+			if err != nil {
+				workerErr <- err
+				return
+			}
+			// This worker simulates the phone id range [lo, hi).
+			lo := w * cfg.phones / cfg.clients
+			hi := (w + 1) * cfg.phones / cfg.clients
+			ctx := context.Background()
+			items := make([]cloud.BatchItem, 0, cfg.batch)
+			flush := func() {
+				if len(items) == 0 {
+					return
+				}
+				t0 := time.Now()
+				res, err := c.SubmitBatch(ctx, items)
+				batchHist.Observe(time.Since(t0).Seconds())
+				if err != nil {
+					errCount.Add(uint64(len(items)))
+					items = items[:0]
+					return
+				}
+				for _, r := range res {
+					switch r.Status {
+					case "accepted":
+						accepted.Add(1)
+					case "duplicate":
+						duplicate.Add(1)
+					case "shed":
+						shed.Add(1)
+					default:
+						rejected.Add(1)
+					}
+				}
+				items = items[:0]
+			}
+			for round := 0; round < cfg.rounds; round++ {
+				// Staggered schedule: workers enter each round spread over
+				// the stagger window instead of stampeding in lockstep.
+				if cfg.stagger > 0 {
+					time.Sleep(cfg.stagger * time.Duration(w) / time.Duration(cfg.clients))
+				}
+				for id := lo; id < hi; id++ {
+					rng := rand.New(rand.NewSource(cfg.seed ^ int64(uint64(id)*devicePRNGMix) ^ int64(round+1)<<32))
+					road := rng.Intn(cfg.roads)
+					items = append(items, cloud.BatchItem{
+						RoadID: roadID(road),
+						// Cheap per-device sequence key: idempotent across
+						// client retries without hashing the payload.
+						Key:     fmt.Sprintf("d%x-r%d", id, round),
+						Profile: senseRoad(rng, devices[id], road, cfg.cells),
+					})
+					if len(items) == cfg.batch {
+						flush()
+					}
+				}
+				flush()
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(workerErr)
+	if err := <-workerErr; err != nil {
+		return nil, err
+	}
+
+	rep := &fleetReport{
+		Config:      cfg,
+		Classes:     mix,
+		Counts:      counts,
+		Submissions: uint64(cfg.phones) * uint64(cfg.rounds),
+		Accepted:    accepted.Load(),
+		Duplicate:   duplicate.Load(),
+		Rejected:    rejected.Load(),
+		Shed:        shed.Load(),
+		Errors:      errCount.Load(),
+		Wall:        wall,
+		Sustained:   float64(accepted.Load()) / wall.Seconds(),
+		BatchRTT: opStats{
+			Count: batchHist.Count(),
+			P50:   batchHist.Quantile(0.50),
+			P95:   batchHist.Quantile(0.95),
+			P99:   batchHist.Quantile(0.99),
+		},
+		registry: reg,
+	}
+	if rep.Rejected > 0 {
+		return rep, fmt.Errorf("%d submissions rejected (the synthetic fleet should always validate)", rep.Rejected)
+	}
+	if rep.Errors > rep.Submissions/2 {
+		return rep, fmt.Errorf("%d of %d submissions failed", rep.Errors, rep.Submissions)
+	}
+	return rep, nil
+}
+
+// sortedClassNames is used by tests to assert the mix parse.
+func sortedClassNames(mix []vehicleClass) []string {
+	names := make([]string, len(mix))
+	for i, c := range mix {
+		names[i] = c.name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("car:0.7,truck:0.25,bus:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sortedClassNames(mix); len(got) != 3 || got[0] != "bus" || got[1] != "car" || got[2] != "truck" {
+		t.Errorf("classes = %v", got)
+	}
+	bad := []string{
+		"",
+		"car:0.5",               // sums to 0.5
+		"car:0.7,tank:0.3",      // unknown class
+		"car:0.7,truck:-0.3",    // negative fraction
+		"car:0.7,truck:0.3:0.1", // ParseFloat rejects the extra field
+		"car=1",                 // wrong separator
+	}
+	for _, s := range bad {
+		if _, err := parseMix(s); err == nil {
+			t.Errorf("parseMix(%q) should fail", s)
+		}
+	}
+	// Exact-1 rounding tolerance.
+	if _, err := parseMix("car:0.333,truck:0.333,bus:0.334"); err != nil {
+		t.Errorf("near-1 mix rejected: %v", err)
+	}
+}
+
+func TestFleetFlagConflicts(t *testing.T) {
+	// Fleet-only flags without -fleet must be rejected with a non-parse
+	// error (main exits 2 on it).
+	for _, args := range [][]string{
+		{"-phones", "100"},
+		{"-batch", "64"},
+		{"-binary=false"},
+		{"-mix", "car:1"},
+		{"-queue-depth", "10"},
+	} {
+		if _, _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v should be rejected without -fleet", args)
+		} else if !strings.Contains(err.Error(), "requires -fleet") {
+			t.Errorf("args %v: unexpected error %v", args, err)
+		}
+	}
+	// Per-op workload flags alongside -fleet must be rejected.
+	for _, args := range [][]string{
+		{"-fleet", "-read-frac", "0.5"},
+		{"-fleet", "-ops", "100"},
+		{"-fleet", "-prefill", "8"},
+		{"-fleet", "-duration", "1s"},
+	} {
+		if _, _, err := parseFlags(args); err == nil {
+			t.Errorf("args %v should be rejected", args)
+		} else if !strings.Contains(err.Error(), "conflicts with -fleet") {
+			t.Errorf("args %v: unexpected error %v", args, err)
+		}
+	}
+	// Valid combinations parse.
+	cfg, _, err := parseFlags([]string{"-fleet", "-phones", "500", "-batch", "32", "-gzip", "-clients", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.fleet || cfg.phones != 500 || cfg.batch != 32 || !cfg.gzipOn || cfg.clients != 4 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if _, _, err := parseFlags([]string{"-clients", "4", "-ops", "100"}); err != nil {
+		t.Errorf("plain per-op args rejected: %v", err)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	base := config{clients: 2, roads: 4, cells: 10, phones: 10, rounds: 1, batch: 8, mix: "car:1"}
+	bad := []func(*config){
+		func(c *config) { c.phones = 0 },
+		func(c *config) { c.rounds = 0 },
+		func(c *config) { c.batch = 0 },
+		func(c *config) { c.batch = 5000 },
+		func(c *config) { c.mix = "car:0.5" },
+		func(c *config) { c.stagger = -time.Second },
+		func(c *config) { c.clients = 0 },
+	}
+	for i, mut := range bad {
+		cfg := base
+		mut(&cfg)
+		if _, err := cfg.validateFleet(); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+	cfg := base
+	if _, err := cfg.validateFleet(); err != nil {
+		t.Errorf("valid fleet config rejected: %v", err)
+	}
+}
+
+// TestRunFleetSmall drives a small fleet end to end: every submission
+// accepted exactly once, deterministic class assignment, and no goroutine
+// leak once the run (and its in-process server) is torn down.
+func TestRunFleetSmall(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := config{
+		clients: 4, roads: 8, cells: 20, seed: 3,
+		fleet: true, phones: 300, rounds: 2, batch: 32,
+		binary: true, mix: "car:0.7,truck:0.25,bus:0.05",
+	}
+	rep, err := runFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submissions != 600 {
+		t.Errorf("submissions = %d, want 600", rep.Submissions)
+	}
+	if rep.Accepted != rep.Submissions || rep.Duplicate != 0 || rep.Rejected != 0 || rep.Shed != 0 || rep.Errors != 0 {
+		t.Errorf("outcome %+v", rep)
+	}
+	if rep.Sustained <= 0 || rep.BatchRTT.Count == 0 {
+		t.Errorf("throughput not measured: %+v", rep)
+	}
+	var total uint64
+	for _, n := range rep.Counts {
+		total += n
+	}
+	if total != uint64(cfg.phones) {
+		t.Errorf("class counts sum to %d, want %d", total, cfg.phones)
+	}
+	out := rep.String()
+	for _, want := range []string{"fleet", "sustained", "binary", "car"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Determinism: the same seed assigns the same classes.
+	rep2, err := runFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Counts {
+		if rep.Counts[i] != rep2.Counts[i] {
+			t.Errorf("class %d count differs across runs: %d vs %d", i, rep.Counts[i], rep2.Counts[i])
+		}
+	}
+
+	// No goroutine leak: the coalescer workers, HTTP server, and transport
+	// must all wind down. Poll briefly — connection teardown is async.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines: %d before, %d after fleet runs", before, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRunFleetShedsGracefully forces admission-control pressure (tiny queue,
+// no client retry budget) and checks degradation is graceful: shed counted
+// per item, nothing rejected, no transport errors, and the run still reports.
+func TestRunFleetShedsGracefully(t *testing.T) {
+	cfg := config{
+		clients: 4, roads: 4, cells: 10, seed: 4,
+		fleet: true, phones: 400, rounds: 1, batch: 128,
+		binary: true, mix: "car:1", retries: 1,
+		shards: 1, queueDepth: 2, batchMax: 1,
+	}
+	rep, err := runFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed == 0 {
+		t.Error("expected shedding with queue depth 2")
+	}
+	if rep.Rejected != 0 || rep.Errors != 0 {
+		t.Errorf("unexpected hard failures: %+v", rep)
+	}
+	if rep.Accepted+rep.Shed+rep.Duplicate != rep.Submissions {
+		t.Errorf("outcomes don't add up: %+v", rep)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,15 +44,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cloudload: %v\n", err)
 		os.Exit(2)
 	}
-	rep, err := run(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cloudload: %v\n", err)
-		os.Exit(1)
+	var out fmt.Stringer
+	var registry *obs.Registry
+	if cfg.fleet {
+		rep, err := runFleet(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cloudload: %v\n", err)
+			os.Exit(1)
+		}
+		out, registry = rep, rep.registry
+	} else {
+		rep, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cloudload: %v\n", err)
+			os.Exit(1)
+		}
+		out, registry = rep, rep.registry
 	}
-	fmt.Print(rep.String())
+	fmt.Print(out.String())
 	if metricsDump {
 		fmt.Fprintln(os.Stderr, "== metrics ==")
-		_ = rep.registry.WritePrometheus(os.Stderr)
+		_ = registry.WritePrometheus(os.Stderr)
 	}
 }
 
@@ -69,6 +82,18 @@ type config struct {
 	conns    int // transport MaxIdleConnsPerHost (0: clients)
 	shards   int // in-process server shard count
 	retries  int // client attempt budget (1 = no retries, measure the server)
+
+	// Fleet mode (see fleet.go).
+	fleet      bool
+	phones     int
+	rounds     int
+	batch      int           // submissions per batched request
+	binary     bool          // use the compact binary batch codec
+	gzipOn     bool          // gzip request/response bodies
+	mix        string        // vehicle class mix, e.g. "car:0.7,truck:0.25,bus:0.05"
+	stagger    time.Duration // spread each round's start across workers
+	queueDepth int           // in-process coalescer queue depth per shard (0: default)
+	batchMax   int           // in-process coalescer fold batch cap (0: default)
 }
 
 func parseFlags(args []string) (config, bool, error) {
@@ -87,10 +112,54 @@ func parseFlags(args []string) (config, bool, error) {
 	fs.IntVar(&cfg.shards, "shards", 0, "in-process server shards (0: default)")
 	fs.IntVar(&cfg.retries, "retries", 1, "client attempt budget (1 disables retries so latency is the server's)")
 	metrics := fs.Bool("metrics", false, "dump the harness metrics registry (Prometheus text) to stderr")
+	fs.BoolVar(&cfg.fleet, "fleet", false, "fleet mode: simulate -phones devices batch-submitting estimates")
+	fs.IntVar(&cfg.phones, "phones", 10000, "fleet: synthetic devices")
+	fs.IntVar(&cfg.rounds, "rounds", 1, "fleet: submission rounds (each phone submits once per round)")
+	fs.IntVar(&cfg.batch, "batch", 256, "fleet: submissions per batched request")
+	fs.BoolVar(&cfg.binary, "binary", true, "fleet: use the compact binary batch codec")
+	fs.BoolVar(&cfg.gzipOn, "gzip", false, "fleet: gzip request/response bodies")
+	fs.StringVar(&cfg.mix, "mix", "car:0.7,truck:0.25,bus:0.05", "fleet: vehicle class mix (name:fraction,...)")
+	fs.DurationVar(&cfg.stagger, "stagger", 0, "fleet: spread each round's start across workers")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 0, "fleet: in-process coalescer queue depth per shard (0: default)")
+	fs.IntVar(&cfg.batchMax, "batch-max", 0, "fleet: in-process coalescer fold batch cap (0: default)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, false, err
 	}
+	if err := checkFlagConflicts(fs, cfg.fleet); err != nil {
+		fs.Usage()
+		return cfg, false, err
+	}
 	return cfg, *metrics, nil
+}
+
+// Flags valid only with -fleet, and per-op harness flags that conflict with
+// it. Shared knobs (clients, roads, cells, seed, conns, shards, retries,
+// addr, metrics) are fine in either mode.
+var (
+	fleetOnlyFlags    = []string{"phones", "rounds", "batch", "binary", "gzip", "mix", "stagger", "queue-depth", "batch-max"}
+	perOpHarnessFlags = []string{"read-frac", "ops", "prefill", "duration"}
+)
+
+// checkFlagConflicts rejects flag combinations that would silently do
+// something other than what the user asked for: fleet-only flags without
+// -fleet, and per-op workload flags alongside -fleet.
+func checkFlagConflicts(fs *flag.FlagSet, fleet bool) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var offending []string
+	check, context := fleetOnlyFlags, "-%s requires -fleet"
+	if fleet {
+		check, context = perOpHarnessFlags, "-%s conflicts with -fleet (per-op workload flag)"
+	}
+	for _, name := range check {
+		if set[name] {
+			offending = append(offending, fmt.Sprintf(context, name))
+		}
+	}
+	if len(offending) > 0 {
+		return errors.New(strings.Join(offending, "; "))
+	}
+	return nil
 }
 
 // opStats summarizes one operation type's latency histogram.

@@ -1,0 +1,217 @@
+package cloud
+
+// POST /v1/submit-batch: many profile submissions in one request, with
+// per-item outcomes. The request body is either the JSON form
+//
+//	{"items":[{"road_id":"r","key":"k","profile":{"spacing_m":5,...}}, ...]}
+//
+// (Content-Type: application/json) or the compact binary codec of codec.go
+// (Content-Type: application/x-roadgrade-batch). Either form may be
+// compressed with Content-Encoding: gzip. The response is always JSON —
+//
+//	{"results":[{"status":"accepted"}, {"status":"shed"}, ...]}
+//
+// index-aligned with the request items — gzipped when the client accepts it.
+// Statuses: accepted, duplicate (idempotency-key replay), rejected (invalid
+// for this road, e.g. spacing mismatch; carries an error), shed (admission
+// control dropped it; retry after Retry-After). A response with any shed
+// item is a 429; otherwise 200.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// batchRequestDTO is the JSON wire form of a batch.
+type batchRequestDTO struct {
+	Items []batchItemDTO `json:"items"`
+}
+
+// batchItemDTO is one JSON batch entry.
+type batchItemDTO struct {
+	RoadID  string     `json:"road_id"`
+	Key     string     `json:"key,omitempty"`
+	Profile ProfileDTO `json:"profile"`
+}
+
+// batchResponseDTO is the JSON response body.
+type batchResponseDTO struct {
+	Results []BatchItemResult `json:"results"`
+}
+
+// maxBatchBodyBytes caps a batch request body (pre- and post-decompression):
+// 4096 items × a few km of road each fits comfortably.
+const maxBatchBodyBytes = 64 << 20
+
+// gzipWriterPool recycles response compressors.
+var gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+
+// readBody slurps the request body into a pooled buffer, transparently
+// decompressing a gzip Content-Encoding and bounding both the wire and the
+// decompressed size. The caller must return buf to bodyBufPool.
+func readBody(w http.ResponseWriter, r *http.Request, maxBytes int64) (*bytes.Buffer, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	var src io.Reader = r.Body
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+	case "gzip":
+		gz, err := gzip.NewReader(r.Body)
+		if err != nil {
+			return nil, fmt.Errorf("gzip body: %w", err)
+		}
+		defer gz.Close()
+		// A tiny wire body can inflate without bound; cap the decompressed
+		// size too. LimitReader+1 so overflow is detectable.
+		src = io.LimitReader(gz, maxBytes+1)
+	default:
+		return nil, fmt.Errorf("%w %q", errUnsupportedEncoding, enc)
+	}
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(src); err != nil {
+		bodyBufPool.Put(buf)
+		return nil, err
+	}
+	if int64(buf.Len()) > maxBytes {
+		bodyBufPool.Put(buf)
+		return nil, fmt.Errorf("decompressed body exceeds %d bytes", maxBytes)
+	}
+	return buf, nil
+}
+
+// acceptsGzip reports whether the client advertised gzip support.
+func acceptsGzip(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
+}
+
+// handleSubmitBatch is the batched ingest door.
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	buf, err := readBody(w, r, maxBatchBodyBytes)
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		} else if errors.Is(err, errUnsupportedEncoding) {
+			code = http.StatusUnsupportedMediaType
+		}
+		httpError(w, code, fmt.Errorf("reading batch: %w", err))
+		return
+	}
+	defer bodyBufPool.Put(buf)
+
+	items, err := decodeBatch(r.Header.Get("Content-Type"), buf.Bytes())
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errUnsupportedMedia) {
+			code = http.StatusUnsupportedMediaType
+		}
+		httpError(w, code, err)
+		return
+	}
+	if len(items) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("cloud: empty batch"))
+		return
+	}
+
+	results := make([]BatchItemResult, len(items))
+	shed := 0
+	if c := s.coal; c != nil {
+		var done sync.WaitGroup
+		done.Add(len(items))
+		pend := make([]*pendingItem, len(items))
+		backing := make([]pendingItem, len(items))
+		for i := range items {
+			backing[i] = pendingItem{
+				roadID: items[i].RoadID,
+				key:    items[i].Key,
+				p:      items[i].Profile,
+				out:    &results[i],
+				done:   &done,
+			}
+			pend[i] = &backing[i]
+		}
+		shed = s.enqueue(pend)
+		done.Wait()
+	} else {
+		s.foldDirect(items, results)
+	}
+
+	code := http.StatusOK
+	if shed > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(s.coal.retryAfter()))
+		code = http.StatusTooManyRequests
+	}
+	writeBatchResponse(w, r, code, batchResponseDTO{Results: results})
+}
+
+// errUnsupportedMedia marks an unknown batch Content-Type (→ 415).
+var errUnsupportedMedia = errors.New("cloud: unsupported batch content type")
+
+// errUnsupportedEncoding marks an unknown request Content-Encoding (→ 415).
+var errUnsupportedEncoding = errors.New("cloud: unsupported Content-Encoding")
+
+// decodeBatch dispatches on Content-Type and returns validated submissions.
+func decodeBatch(contentType string, body []byte) ([]BatchItem, error) {
+	mt := contentType
+	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
+		mt = parsed
+	}
+	switch mt {
+	case ContentTypeBinary:
+		return DecodeBatchBinary(body)
+	case ContentTypeJSON, "":
+		var dto batchRequestDTO
+		if err := json.Unmarshal(body, &dto); err != nil {
+			return nil, fmt.Errorf("decoding batch: %w", err)
+		}
+		if len(dto.Items) > maxBatchItems {
+			return nil, fmt.Errorf("cloud: batch too large (%d items, max %d)", len(dto.Items), maxBatchItems)
+		}
+		items := make([]BatchItem, len(dto.Items))
+		for i := range dto.Items {
+			if dto.Items[i].RoadID == "" {
+				return nil, fmt.Errorf("cloud: batch item %d: empty road id", i)
+			}
+			if len(dto.Items[i].Key) > maxKeyLen {
+				return nil, fmt.Errorf("cloud: batch item %d: idempotency key too long", i)
+			}
+			p, err := dto.Items[i].Profile.toProfile()
+			if err != nil {
+				return nil, fmt.Errorf("cloud: batch item %d: %w", i, err)
+			}
+			items[i] = BatchItem{RoadID: dto.Items[i].RoadID, Key: dto.Items[i].Key, Profile: p}
+		}
+		return items, nil
+	default:
+		return nil, fmt.Errorf("%w %q", errUnsupportedMedia, contentType)
+	}
+}
+
+// writeBatchResponse encodes the per-item results, gzipping when the client
+// accepts it (batch responses grow with the batch, so compression pays).
+func writeBatchResponse(w http.ResponseWriter, r *http.Request, code int, body batchResponseDTO) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Vary", "Accept-Encoding")
+	if !acceptsGzip(r) {
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(body)
+		return
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	w.WriteHeader(code)
+	gz := gzipWriterPool.Get().(*gzip.Writer)
+	gz.Reset(w)
+	_ = json.NewEncoder(gz).Encode(body)
+	_ = gz.Close()
+	gzipWriterPool.Put(gz)
+}

@@ -2,16 +2,20 @@ package cloud
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"roadgrade/internal/fusion"
@@ -40,6 +44,12 @@ type Client struct {
 	maxBackoff    time.Duration
 	perTryTimeout time.Duration
 
+	// useGzip compresses request bodies and explicitly negotiates gzip
+	// responses (see WithGzip for the transport subtlety this implies).
+	useGzip bool
+	// binaryBatch selects the compact binary codec for SubmitBatch.
+	binaryBatch bool
+
 	// sleep and jitter are injectable for tests.
 	sleep  func(time.Duration)
 	jitter func() float64
@@ -62,6 +72,25 @@ func WithRetry(attempts int, base, max time.Duration) Option {
 // context still applies to the whole call).
 func WithPerTryTimeout(d time.Duration) Option {
 	return func(c *Client) { c.perTryTimeout = d }
+}
+
+// WithGzip turns on explicit gzip negotiation: request bodies are
+// compressed with Content-Encoding: gzip, and responses are requested with
+// an explicit Accept-Encoding: gzip header. Setting Accept-Encoding by hand
+// disables net/http's transparent decompression — the transport then hands
+// back the raw compressed body — so the client decompresses itself and
+// drains the underlying stream for connection reuse. (Without this option
+// the transport still negotiates gzip invisibly; the option exists so
+// payload sizes on the wire are observable and the request direction is
+// compressed too.)
+func WithGzip(on bool) Option {
+	return func(c *Client) { c.useGzip = on }
+}
+
+// WithBinaryBatch makes SubmitBatch use the compact binary wire codec
+// (ContentTypeBinary) instead of JSON.
+func WithBinaryBatch(on bool) Option {
+	return func(c *Client) { c.binaryBatch = on }
 }
 
 // NewClient returns a client for the service at base (e.g.
@@ -232,6 +261,52 @@ func (c *cancelOnClose) Close() error {
 	return err
 }
 
+// gzipBytes compresses b (used for request bodies when WithGzip is on).
+func gzipBytes(b []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(b); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// responseBody returns the reader success-path decoders should consume:
+// when the server answered with Content-Encoding: gzip (which only happens
+// once the client explicitly negotiated it), the body is wrapped in a gzip
+// reader. Draining for connection reuse still happens on the raw resp.Body
+// via drainClose, which is exactly what the transport needs to see at EOF.
+func responseBody(resp *http.Response) (io.Reader, error) {
+	switch enc := resp.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+		return resp.Body, nil
+	case "gzip":
+		gz, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: gzip response: %w", err)
+		}
+		return gz, nil
+	default:
+		return nil, fmt.Errorf("cloud: unsupported response Content-Encoding %q", enc)
+	}
+}
+
+// prepareBody applies the client's request compression policy, returning
+// the on-wire bytes and the Content-Encoding header value ("" for none).
+func (c *Client) prepareBody(body []byte) ([]byte, string, error) {
+	if !c.useGzip {
+		return body, "", nil
+	}
+	zipped, err := gzipBytes(body)
+	if err != nil {
+		return nil, "", fmt.Errorf("cloud: compressing body: %w", err)
+	}
+	return zipped, "gzip", nil
+}
+
 // SubmitProfile uploads one vehicle's fused profile for a road. Retries are
 // idempotent: the request carries a key derived from the road and payload, so
 // the server stores at most one copy no matter how many attempts land.
@@ -245,14 +320,21 @@ func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Pro
 	}
 	sum := sha256.Sum256(append([]byte(roadID+"\x00"), body...))
 	key := hex.EncodeToString(sum[:])
+	wire, contentEnc, err := c.prepareBody(body)
+	if err != nil {
+		return err
+	}
 	url := fmt.Sprintf("%s/v1/roads/%s/profiles", c.base, roadID)
 	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(wire))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("Idempotency-Key", key)
+		if contentEnc != "" {
+			req.Header.Set("Content-Encoding", contentEnc)
+		}
 		return req, nil
 	})
 	if err != nil {
@@ -269,7 +351,14 @@ func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Pro
 func (c *Client) FetchProfile(ctx context.Context, roadID string) (*fusion.Profile, error) {
 	url := fmt.Sprintf("%s/v1/roads/%s/profile", c.base, roadID)
 	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		if c.useGzip {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		return req, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cloud: fetching profile: %w", err)
@@ -278,8 +367,12 @@ func (c *Client) FetchProfile(ctx context.Context, roadID string) (*fusion.Profi
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cloud: fetch failed: %s", readError(resp))
 	}
+	body, err := responseBody(resp)
+	if err != nil {
+		return nil, err
+	}
 	var dto ProfileDTO
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBodyBytes)).Decode(&dto); err != nil {
+	if err := json.NewDecoder(io.LimitReader(body, maxResponseBodyBytes)).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("cloud: decoding profile: %w", err)
 	}
 	return dto.toProfile()
@@ -302,6 +395,159 @@ func (c *Client) ListRoads(ctx context.Context) ([]RoadStatus, error) {
 		return nil, fmt.Errorf("cloud: decoding road list: %w", err)
 	}
 	return out, nil
+}
+
+// ProfileKey derives a content-based idempotency key for one submission:
+// sha256 over the road id and the profile's raw float bits. Fleets that
+// already track per-device sequence numbers should pass their own cheaper
+// keys instead.
+func ProfileKey(roadID string, p *fusion.Profile) string {
+	h := sha256.New()
+	h.Write([]byte(roadID))
+	h.Write([]byte{0})
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.SpacingM))
+	h.Write(b[:])
+	for _, g := range p.GradeRad {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(g))
+		h.Write(b[:])
+	}
+	for _, v := range p.Var {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encodeBatch builds the wire body for the configured codec.
+func (c *Client) encodeBatch(items []BatchItem) (body []byte, contentType string, err error) {
+	if c.binaryBatch {
+		body, err = EncodeBatchBinary(items)
+		return body, ContentTypeBinary, err
+	}
+	dto := batchRequestDTO{Items: make([]batchItemDTO, len(items))}
+	for i := range items {
+		dto.Items[i] = batchItemDTO{
+			RoadID:  items[i].RoadID,
+			Key:     items[i].Key,
+			Profile: FromProfile(items[i].Profile),
+		}
+	}
+	body, err = json.Marshal(dto)
+	return body, ContentTypeJSON, err
+}
+
+// SubmitBatch uploads many submissions in one request and returns per-item
+// outcomes aligned with items. Items without a Key get a content-derived
+// one, so every retry path is idempotent. Transport errors and 5xx are
+// retried by the usual backoff machinery; shed items (server admission
+// control, HTTP 429) are re-submitted — just the shed subset — after the
+// server's Retry-After hint (or the backoff, whichever is longer) until the
+// attempt budget runs out. A nil error means the protocol ran to
+// completion; callers must still inspect the per-item statuses ("accepted",
+// "duplicate", "rejected", "shed").
+func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchItemResult, error) {
+	if len(items) == 0 {
+		return nil, errors.New("cloud: empty batch")
+	}
+	for i := range items {
+		if items[i].Profile == nil || items[i].Profile.Len() == 0 {
+			return nil, fmt.Errorf("cloud: batch item %d: empty profile", i)
+		}
+		if items[i].Key == "" {
+			items[i].Key = ProfileKey(items[i].RoadID, items[i].Profile)
+		}
+	}
+	results := make([]BatchItemResult, len(items))
+	// pending maps the current wire batch's positions onto results indices.
+	pending := make([]int, len(items))
+	for i := range pending {
+		pending[i] = i
+	}
+	batch := items
+	for attempt := 0; ; attempt++ {
+		res, retryAfter, err := c.submitBatchOnce(ctx, batch)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) != len(batch) {
+			return nil, fmt.Errorf("cloud: batch response has %d results for %d items", len(res), len(batch))
+		}
+		var shedIdx []int
+		for i, r := range res {
+			results[pending[i]] = r
+			if r.Status == statusShed {
+				shedIdx = append(shedIdx, pending[i])
+			}
+		}
+		if len(shedIdx) == 0 || attempt+1 >= c.maxAttempts {
+			return results, nil
+		}
+		wait := c.backoffFor(attempt)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return results, nil
+		default:
+			obsCliRetries.Inc()
+			obsCliBackoff.Observe(wait.Seconds())
+			c.sleep(wait)
+		}
+		batch = make([]BatchItem, len(shedIdx))
+		for i, idx := range shedIdx {
+			batch[i] = items[idx]
+		}
+		pending = shedIdx
+	}
+}
+
+// submitBatchOnce runs one batch request (with transport-level retries) and
+// decodes the per-item results plus any Retry-After hint.
+func (c *Client) submitBatchOnce(ctx context.Context, batch []BatchItem) ([]BatchItemResult, time.Duration, error) {
+	body, contentType, err := c.encodeBatch(batch)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cloud: encoding batch: %w", err)
+	}
+	wire, contentEnc, err := c.prepareBody(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/submit-batch", bytes.NewReader(wire))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		if contentEnc != "" {
+			req.Header.Set("Content-Encoding", contentEnc)
+		}
+		if c.useGzip {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		return req, nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("cloud: submitting batch: %w", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		return nil, 0, fmt.Errorf("cloud: batch submit failed: %s", readError(resp))
+	}
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	rb, err := responseBody(resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	var dto batchResponseDTO
+	if err := json.NewDecoder(io.LimitReader(rb, maxResponseBodyBytes)).Decode(&dto); err != nil {
+		return nil, 0, fmt.Errorf("cloud: decoding batch response: %w", err)
+	}
+	return dto.Results, retryAfter, nil
 }
 
 func readError(resp *http.Response) string {

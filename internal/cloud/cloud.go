@@ -110,6 +110,10 @@ type Server struct {
 	shards    []shard
 	shardMask uint32
 
+	// coal, when set via EnableCoalescing, runs the batched ingest path
+	// through per-shard write coalescing with admission control.
+	coal *coalescer
+
 	// totalGen counts accepted submissions across all roads. It is the O(1)
 	// staleness signal the eco-routing engine polls: unchanged counter means
 	// no road's fused profile can have changed.
@@ -184,10 +188,7 @@ func (s *Server) Submit(roadID string, p *fusion.Profile) error {
 	rs := s.roadFor(roadID)
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	if rs.acc.Len() > 0 && rs.acc.Spacing() != p.SpacingM {
-		return fmt.Errorf("cloud: road %s expects spacing %v, got %v", roadID, rs.acc.Spacing(), p.SpacingM)
-	}
-	if err := rs.acc.Add(p); err != nil {
+	if err := rs.addLocked(p); err != nil {
 		return fmt.Errorf("cloud: road %s: %w", roadID, err)
 	}
 	rs.gen++ // invalidates the fused snapshot and encoded caches
@@ -309,6 +310,32 @@ func (s *Server) fusedJSON(roadID string) ([]byte, error) {
 	return enc, nil
 }
 
+// fusedJSONGzip returns the gzipped wire form of the fused profile, cached
+// per road like the plain encoding: a fleet of read-mostly clients that
+// accept gzip costs one compression per submission generation, not one per
+// GET. The returned bytes are shared and immutable.
+func (s *Server) fusedJSONGzip(roadID string) ([]byte, error) {
+	rs := s.lookup(roadID)
+	if rs == nil {
+		return nil, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	rs.mu.RLock()
+	if rs.encGz != nil && rs.encGzGen == rs.gen {
+		enc := rs.encGz
+		rs.mu.RUnlock()
+		obsEncGzHits.Inc()
+		return enc, nil
+	}
+	rs.mu.RUnlock()
+	rs.mu.Lock()
+	enc, err := rs.gzippedLocked()
+	rs.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("cloud: no submissions for road %s", roadID)
+	}
+	return enc, nil
+}
+
 // copyProfile deep-copies a cached snapshot so callers cannot corrupt it.
 func copyProfile(p *fusion.Profile) *fusion.Profile {
 	return &fusion.Profile{
@@ -346,6 +373,7 @@ func (s *Server) Roads() []RoadStatus {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/roads/{id}/profiles", s.instrument(routeSubmit, s.handleSubmit))
+	mux.Handle("POST /v1/submit-batch", s.instrument(routeBatch, s.handleSubmitBatch))
 	mux.Handle("GET /v1/roads/{id}/profile", s.instrument(routeFused, s.handleFused))
 	mux.Handle("GET /v1/roads", s.instrument(routeList, s.handleList))
 	mux.Handle("GET /v1/route", s.instrument(routeRoute, s.handleRoute))
@@ -367,19 +395,19 @@ var (
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBodyBytes)
-	buf := bodyBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	defer bodyBufPool.Put(buf)
-	if _, err := buf.ReadFrom(r.Body); err != nil {
+	buf, err := readBody(w, r, maxSubmitBodyBytes)
+	if err != nil {
 		code := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			code = http.StatusRequestEntityTooLarge
+		} else if errors.Is(err, errUnsupportedEncoding) {
+			code = http.StatusUnsupportedMediaType
 		}
 		httpError(w, code, fmt.Errorf("decoding profile: %w", err))
 		return
 	}
+	defer bodyBufPool.Put(buf)
 	dto := dtoPool.Get().(*ProfileDTO)
 	// Reset before decoding: json.Unmarshal leaves absent fields untouched,
 	// and a stale value from the previous request must read as absent.
@@ -408,7 +436,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFused(w http.ResponseWriter, r *http.Request) {
-	enc, err := s.fusedJSON(r.PathValue("id"))
+	id := r.PathValue("id")
+	w.Header().Set("Vary", "Accept-Encoding")
+	if acceptsGzip(r) {
+		enc, err := s.fusedJSONGzip(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Encoding", "gzip")
+		_, _ = w.Write(enc)
+		return
+	}
+	enc, err := s.fusedJSON(id)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return

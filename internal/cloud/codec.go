@@ -1,0 +1,325 @@
+package cloud
+
+// The compact binary batch codec: the wire format a phone fleet uses to
+// upload many profile submissions in one request. JSON spends ~45 bytes per
+// cell printing two full-precision floats; roads are spatially smooth, so a
+// fixed-point delta encoding spends 1-2 bytes per cell on a quiet road and
+// single digits even when sensor noise dominates. The format is stdlib-only
+// (encoding/binary varints), versioned by a leading magic, and deliberately
+// simple enough to decode with one linear pass and zero reflection.
+//
+// Layout (all integers are unsigned varints unless noted):
+//
+//	magic   3 bytes  "RGB"           (RoadGrade Batch)
+//	version 1 byte   0x01
+//	nItems  uvarint  1..maxBatchItems
+//	item × nItems:
+//	  roadID   uvarint length (1..maxRoadIDLen) + bytes
+//	  key      uvarint length (0..maxKeyLen) + bytes   (0 = no idempotency key)
+//	  spacing  8 bytes little-endian IEEE-754 float64 bits
+//	  nCells   uvarint  1..maxProfileCells
+//	  grades   nCells zigzag varints: deltas of qᵢ = round(gradeᵢ/1e-9),
+//	           q₋₁ = 0 (grades quantized to nano-radians)
+//	  vars     nCells zigzag varints: deltas of vᵢ = round(varᵢ/1e-12),
+//	           v₋₁ = 0 (variances quantized to 1e-12 rad², floor 1e-12)
+//
+// Quantization is part of the contract: a binary submission's grades are
+// defined on the 1e-9 rad lattice (≈6e-8 degrees — five orders of magnitude
+// below sensor noise) and variances on the 1e-12 rad² lattice, clamped to
+// [1e-12, 1e6]. Decode(Encode(x)) is idempotent: re-encoding a decoded batch
+// reproduces the same bytes.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/fusion"
+)
+
+// Content types negotiated on POST /v1/submit-batch.
+const (
+	// ContentTypeJSON is the JSON batch form ({"items":[...]}).
+	ContentTypeJSON = "application/json"
+	// ContentTypeBinary is the compact binary batch codec defined above.
+	ContentTypeBinary = "application/x-roadgrade-batch"
+)
+
+// BatchItem is one profile submission inside a batch: the road it belongs
+// to, an optional idempotency key, and the profile itself.
+type BatchItem struct {
+	RoadID  string
+	Key     string
+	Profile *fusion.Profile
+}
+
+// Binary codec limits. Road ids and keys are bounded so a hostile batch
+// cannot make the decoder allocate unbounded strings; item count bounds the
+// per-request fold work.
+const (
+	binaryMagic   = "RGB"
+	binaryVersion = 0x01
+
+	maxBatchItems = 4096
+	maxRoadIDLen  = 256
+	maxKeyLen     = 128
+
+	// gradeQuantum is the grade lattice: 1 nano-radian.
+	gradeQuantum = 1e-9
+	// varQuantum is the variance lattice: 1e-12 rad².
+	varQuantum = 1e-12
+	// maxEncodableVar bounds a variance the binary codec accepts; anything
+	// larger carries no fusion weight worth preserving (1e6 rad² is ~10⁹×
+	// a plausible sensor variance) and would overflow the fixed-point range.
+	maxEncodableVar = 1e6
+)
+
+// maxGradeQ is the largest legal quantized grade (±maxGradeRad on the
+// lattice).
+const maxGradeQ = int64(maxGradeRad / gradeQuantum)
+
+// maxVarQ is the largest legal quantized variance.
+const maxVarQ = int64(maxEncodableVar / varQuantum)
+
+// zigzag maps a signed delta onto the unsigned varint domain, small
+// magnitudes first.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// EncodeBatchBinary serializes items with the binary codec. Every profile is
+// validated with the same rules the JSON door applies (finite spacing > 0,
+// 1..maxProfileCells cells, |grade| <= maxGradeRad, finite var > 0) plus the
+// codec's variance ceiling, so an encoded batch always decodes cleanly.
+func EncodeBatchBinary(items []BatchItem) ([]byte, error) {
+	if len(items) == 0 {
+		return nil, errors.New("cloud: empty batch")
+	}
+	if len(items) > maxBatchItems {
+		return nil, fmt.Errorf("cloud: batch too large (%d items, max %d)", len(items), maxBatchItems)
+	}
+	// Size guess: header + per item (ids + spacing + ~5 bytes/cell for the
+	// two streams together on realistic data).
+	guess := 8
+	for i := range items {
+		if items[i].Profile != nil {
+			guess += len(items[i].RoadID) + len(items[i].Key) + 16 + 10*items[i].Profile.Len()
+		}
+	}
+	buf := make([]byte, 0, guess)
+	buf = append(buf, binaryMagic...)
+	buf = append(buf, binaryVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for i := range items {
+		var err error
+		buf, err = appendItem(buf, &items[i])
+		if err != nil {
+			return nil, fmt.Errorf("cloud: batch item %d: %w", i, err)
+		}
+	}
+	return buf, nil
+}
+
+// appendItem encodes one validated submission.
+func appendItem(buf []byte, it *BatchItem) ([]byte, error) {
+	if it.RoadID == "" || len(it.RoadID) > maxRoadIDLen {
+		return nil, fmt.Errorf("invalid road id length %d", len(it.RoadID))
+	}
+	if len(it.Key) > maxKeyLen {
+		return nil, fmt.Errorf("idempotency key too long (%d bytes, max %d)", len(it.Key), maxKeyLen)
+	}
+	p := it.Profile
+	if p == nil || p.Len() == 0 {
+		return nil, errors.New("empty profile")
+	}
+	if p.Len() > maxProfileCells {
+		return nil, fmt.Errorf("profile too long (%d cells, max %d)", p.Len(), maxProfileCells)
+	}
+	if p.SpacingM <= 0 || math.IsNaN(p.SpacingM) || math.IsInf(p.SpacingM, 0) {
+		return nil, fmt.Errorf("invalid spacing %v", p.SpacingM)
+	}
+	if len(p.GradeRad) != len(p.Var) {
+		return nil, fmt.Errorf("grade/var length mismatch %d vs %d", len(p.GradeRad), len(p.Var))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(it.RoadID)))
+	buf = append(buf, it.RoadID...)
+	buf = binary.AppendUvarint(buf, uint64(len(it.Key)))
+	buf = append(buf, it.Key...)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.SpacingM))
+	buf = binary.AppendUvarint(buf, uint64(p.Len()))
+	prev := int64(0)
+	for c, g := range p.GradeRad {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			return nil, fmt.Errorf("non-finite grade at %d", c)
+		}
+		q := int64(math.Round(g / gradeQuantum))
+		if q > maxGradeQ || q < -maxGradeQ {
+			return nil, fmt.Errorf("implausible grade %v rad at %d", g, c)
+		}
+		buf = binary.AppendUvarint(buf, zigzag(q-prev))
+		prev = q
+	}
+	prev = 0
+	for c, v := range p.Var {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("invalid variance %v at %d", v, c)
+		}
+		if v > maxEncodableVar {
+			return nil, fmt.Errorf("variance %v at %d exceeds codec ceiling %v", v, c, float64(maxEncodableVar))
+		}
+		q := int64(math.Round(v / varQuantum))
+		if q < 1 {
+			q = 1 // floor: a decoded variance must stay > 0
+		}
+		buf = binary.AppendUvarint(buf, zigzag(q-prev))
+		prev = q
+	}
+	return buf, nil
+}
+
+// binaryReader walks an encoded batch with bounds checking.
+type binaryReader struct {
+	buf []byte
+	off int
+}
+
+func (r *binaryReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, errors.New("cloud: truncated or malformed varint")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binaryReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, errors.New("cloud: truncated batch")
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// DecodeBatchBinary parses a binary batch into validated submissions. The
+// returned profiles are freshly allocated and valid by construction (the
+// quantized ranges enforce the same grade/variance bounds the JSON door
+// checks), so the ingest path can fold them without re-validating.
+func DecodeBatchBinary(data []byte) ([]BatchItem, error) {
+	r := &binaryReader{buf: data}
+	head, err := r.bytes(4)
+	if err != nil {
+		return nil, errors.New("cloud: batch too short")
+	}
+	if string(head[:3]) != binaryMagic {
+		return nil, errors.New("cloud: bad batch magic")
+	}
+	if head[3] != binaryVersion {
+		return nil, fmt.Errorf("cloud: unsupported batch version %d", head[3])
+	}
+	nItems, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nItems == 0 || nItems > maxBatchItems {
+		return nil, fmt.Errorf("cloud: batch item count %d out of range [1, %d]", nItems, maxBatchItems)
+	}
+	items := make([]BatchItem, 0, nItems)
+	for i := uint64(0); i < nItems; i++ {
+		it, err := r.readItem()
+		if err != nil {
+			return nil, fmt.Errorf("cloud: batch item %d: %w", i, err)
+		}
+		items = append(items, it)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("cloud: %d trailing bytes after batch", len(data)-r.off)
+	}
+	return items, nil
+}
+
+// readItem decodes one submission.
+func (r *binaryReader) readItem() (BatchItem, error) {
+	var it BatchItem
+	idLen, err := r.uvarint()
+	if err != nil {
+		return it, err
+	}
+	if idLen == 0 || idLen > maxRoadIDLen {
+		return it, fmt.Errorf("road id length %d out of range", idLen)
+	}
+	id, err := r.bytes(int(idLen))
+	if err != nil {
+		return it, err
+	}
+	it.RoadID = string(id)
+	keyLen, err := r.uvarint()
+	if err != nil {
+		return it, err
+	}
+	if keyLen > maxKeyLen {
+		return it, fmt.Errorf("key length %d out of range", keyLen)
+	}
+	key, err := r.bytes(int(keyLen))
+	if err != nil {
+		return it, err
+	}
+	it.Key = string(key)
+	sp, err := r.bytes(8)
+	if err != nil {
+		return it, err
+	}
+	spacing := math.Float64frombits(binary.LittleEndian.Uint64(sp))
+	if spacing <= 0 || math.IsNaN(spacing) || math.IsInf(spacing, 0) {
+		return it, fmt.Errorf("invalid spacing %v", spacing)
+	}
+	nCells, err := r.uvarint()
+	if err != nil {
+		return it, err
+	}
+	if nCells == 0 || nCells > maxProfileCells {
+		return it, fmt.Errorf("cell count %d out of range [1, %d]", nCells, maxProfileCells)
+	}
+	// Cheap plausibility check before allocating: each cell needs at least
+	// one grade byte and one variance byte.
+	if int(nCells)*2 > len(r.buf)-r.off {
+		return it, errors.New("cell count exceeds remaining payload")
+	}
+	p := &fusion.Profile{
+		SpacingM: spacing,
+		S:        make([]float64, nCells),
+		GradeRad: make([]float64, nCells),
+		Var:      make([]float64, nCells),
+	}
+	prev := int64(0)
+	for c := range p.GradeRad {
+		d, err := r.uvarint()
+		if err != nil {
+			return it, err
+		}
+		prev += unzigzag(d)
+		if prev > maxGradeQ || prev < -maxGradeQ {
+			return it, fmt.Errorf("implausible grade at cell %d", c)
+		}
+		p.GradeRad[c] = float64(prev) * gradeQuantum
+	}
+	prev = 0
+	for c := range p.Var {
+		d, err := r.uvarint()
+		if err != nil {
+			return it, err
+		}
+		prev += unzigzag(d)
+		if prev < 1 || prev > maxVarQ {
+			return it, fmt.Errorf("variance out of range at cell %d", c)
+		}
+		p.Var[c] = float64(prev) * varQuantum
+	}
+	for c := range p.S {
+		p.S[c] = float64(c) * spacing
+	}
+	it.Profile = p
+	return it, nil
+}

@@ -1,0 +1,168 @@
+package cloud
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestClientRoundTripMatrix runs the full submit->fetch cycle through a real
+// server for every codec x compression combination: the fetched fused profile
+// must be identical regardless of how the bytes traveled.
+func TestClientRoundTripMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	items := make([]BatchItem, 12)
+	for i := range items {
+		items[i] = BatchItem{
+			RoadID:  roadName(i % 3),
+			Key:     fmt.Sprintf("m-%d", i),
+			Profile: realisticProfile(rng, 80),
+		}
+	}
+	// Quantize once so the JSON and binary codecs carry identical values and
+	// every combination fuses to the same bits.
+	enc, err := EncodeBatchBinary(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err = DecodeBatchBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want [][]float64
+	for _, binary := range []bool{false, true} {
+		for _, gz := range []bool{false, true} {
+			name := fmt.Sprintf("binary=%v/gzip=%v", binary, gz)
+			t.Run(name, func(t *testing.T) {
+				srv, ts := newCoalescedServer(t, CoalesceConfig{}, 0)
+				_ = srv
+				cli, err := NewClient(ts.URL, ts.Client(), WithBinaryBatch(binary), WithGzip(gz))
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch := make([]BatchItem, len(items))
+				copy(batch, items)
+				res, err := cli.SubmitBatch(context.Background(), batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range res {
+					if r.Status != "accepted" {
+						t.Fatalf("item %d: %+v", i, r)
+					}
+				}
+				var got []float64
+				for r := 0; r < 3; r++ {
+					p, err := cli.FetchProfile(context.Background(), roadName(r))
+					if err != nil {
+						t.Fatalf("fetch %s: %v", roadName(r), err)
+					}
+					got = append(got, p.GradeRad...)
+					got = append(got, p.Var...)
+				}
+				if want == nil {
+					want = append(want, got)
+					return
+				}
+				ref := want[0]
+				if len(got) != len(ref) {
+					t.Fatalf("fused length %d, want %d", len(got), len(ref))
+				}
+				for i := range ref {
+					if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+						t.Fatalf("fused value %d differs from the plain-JSON combination: %v vs %v", i, got[i], ref[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestServerGzipNegotiation hits the raw HTTP surface: a gzip-accepting GET
+// must get a gzip body that inflates to exactly the identity body, and batch
+// submits must accept gzip request bodies.
+func TestServerGzipNegotiation(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(23))
+	if err := srv.Submit("r", realisticProfile(rng, 60)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transparent-decompression off, so the raw wire bytes are observable.
+	tr := &http.Transport{DisableCompression: true}
+	defer tr.CloseIdleConnections()
+	hc := &http.Client{Transport: tr}
+
+	get := func(acceptGzip bool) (*http.Response, []byte) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/roads/r/profile", nil)
+		if acceptGzip {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	respPlain, plain := get(false)
+	if respPlain.Header.Get("Content-Encoding") == "gzip" {
+		t.Fatal("identity request answered with gzip")
+	}
+	respGz, zipped := get(true)
+	if respGz.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatal("gzip-accepting request not answered with gzip")
+	}
+	if respGz.Header.Get("Vary") != "Accept-Encoding" {
+		t.Error("gzip response missing Vary: Accept-Encoding")
+	}
+	if len(zipped) >= len(plain) {
+		t.Errorf("gzip body (%d B) not smaller than identity (%d B)", len(zipped), len(plain))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(zipped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(inflated) != string(plain) {
+		t.Error("gzip body does not inflate to the identity body")
+	}
+
+	// A second gzip GET of the unchanged road must come from the cache.
+	hitsBefore := obsEncGzHits.Value()
+	get(true)
+	if obsEncGzHits.Value() == hitsBefore {
+		t.Error("repeated gzip GET did not hit the encoded_gzip cache")
+	}
+
+	// Unsupported request Content-Encoding is rejected up front.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/submit-batch", bytes.NewReader([]byte("x")))
+	req.Header.Set("Content-Type", ContentTypeJSON)
+	req.Header.Set("Content-Encoding", "br")
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("Content-Encoding br: status %d, want 415", resp.StatusCode)
+	}
+}

@@ -19,6 +19,7 @@ import (
 var (
 	obsSrvLatency = map[string]*obs.Histogram{
 		routeSubmit: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeSubmit)),
+		routeBatch:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeBatch)),
 		routeFused:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeFused)),
 		routeList:   obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeList)),
 		routeRoute:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeRoute)),
@@ -29,6 +30,7 @@ var (
 // Route names used as the route label and in access logs.
 const (
 	routeSubmit = "submit"
+	routeBatch  = "submit_batch"
 	routeFused  = "fused"
 	routeList   = "list"
 	routeRoute  = "route"

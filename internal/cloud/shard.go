@@ -2,7 +2,9 @@ package cloud
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"fmt"
 	"sync"
 
 	"roadgrade/internal/fusion"
@@ -17,6 +19,8 @@ var (
 	obsSnapMiss  = obs.Default.Counter("cloud_fused_cache_misses_total", obs.L("cache", "snapshot"))
 	obsEncHits   = obs.Default.Counter("cloud_fused_cache_hits_total", obs.L("cache", "encoded"))
 	obsEncMiss   = obs.Default.Counter("cloud_fused_cache_misses_total", obs.L("cache", "encoded"))
+	obsEncGzHits = obs.Default.Counter("cloud_fused_cache_hits_total", obs.L("cache", "encoded_gzip"))
+	obsEncGzMiss = obs.Default.Counter("cloud_fused_cache_misses_total", obs.L("cache", "encoded_gzip"))
 	obsShardLoad = obs.Default.Counter("cloud_road_states_created_total")
 )
 
@@ -64,6 +68,20 @@ type roadState struct {
 
 	encGen uint64
 	enc    []byte // cached JSON response body (snapshot + trailing newline)
+
+	encGzGen uint64
+	encGz    []byte // cached gzip of enc, for Accept-Encoding: gzip readers
+}
+
+// addLocked validates spacing and folds one submission into the road's
+// accumulator. rs.mu must be held for writing; the caller bumps generations
+// and the server-wide counter (the direct path bumps per call, the coalescer
+// amortizes across a fold batch).
+func (rs *roadState) addLocked(p *fusion.Profile) error {
+	if rs.acc.Len() > 0 && rs.acc.Spacing() != p.SpacingM {
+		return fmt.Errorf("cloud: expects spacing %v, got %v", rs.acc.Spacing(), p.SpacingM)
+	}
+	return rs.acc.Add(p)
 }
 
 // fusedLocked returns the current fused snapshot, rebuilding from the
@@ -113,6 +131,39 @@ func (rs *roadState) encodedLocked() ([]byte, error) {
 	rs.encGen = rs.gen
 	encBufPool.Put(buf)
 	return rs.enc, nil
+}
+
+// gzippedLocked returns the gzipped wire form of the fused profile,
+// rebuilding the cached compression if stale. rs.mu must be held for
+// writing. Like enc, the returned bytes are immutable once published.
+func (rs *roadState) gzippedLocked() ([]byte, error) {
+	if rs.encGz != nil && rs.encGzGen == rs.gen {
+		return rs.encGz, nil
+	}
+	obsEncGzMiss.Inc()
+	enc, err := rs.encodedLocked()
+	if err != nil {
+		return nil, err
+	}
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	gz := gzipWriterPool.Get().(*gzip.Writer)
+	gz.Reset(buf)
+	if _, err := gz.Write(enc); err != nil {
+		gzipWriterPool.Put(gz)
+		encBufPool.Put(buf)
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		gzipWriterPool.Put(gz)
+		encBufPool.Put(buf)
+		return nil, err
+	}
+	gzipWriterPool.Put(gz)
+	rs.encGz = append([]byte(nil), buf.Bytes()...)
+	rs.encGzGen = rs.gen
+	encBufPool.Put(buf)
+	return rs.encGz, nil
 }
 
 // shardFor maps a road id to its shard (shard count is a power of two).

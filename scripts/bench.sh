@@ -5,18 +5,21 @@
 #   - the Figure 9/10 experiments plus the geo ClosestS micro-benchmarks
 #     (PR 1 baseline),
 #   - the cloud serving benchmarks — sharded store vs the pre-sharding
-#     legacy path (PR 4 baseline), and
+#     legacy path (PR 4 baseline),
 #   - the eco-routing benchmarks — warm/cold query latency, invalidation
-#     cost, and the warm /v1/route serving path (PR 5 baseline).
+#     cost, and the warm /v1/route serving path (PR 5 baseline), and
+#   - the ingest benchmarks — per-submission cost of single-JSON vs batched
+#     JSON/binary submits, plus wire-batch decode (PR 6 baseline).
 #
-# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json]
-#   (defaults BENCH_PR1.json, BENCH_PR4.json and BENCH_PR5.json)
+# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json]
+#   (defaults BENCH_PR1.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 out1="${1:-BENCH_PR1.json}"
 out4="${2:-BENCH_PR4.json}"
 out5="${3:-BENCH_PR5.json}"
+out6="${4:-BENCH_PR6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -60,3 +63,8 @@ go test -run '^$' -bench 'BenchmarkEcoRoute' -benchmem ./internal/ecoroute ./int
 emit_json "$tmp" >"$out5"
 echo "wrote $out5:"
 cat "$out5"
+
+go test -run '^$' -bench 'BenchmarkIngest' -benchmem ./internal/cloud >"$tmp"
+emit_json "$tmp" >"$out6"
+echo "wrote $out6:"
+cat "$out6"

@@ -17,6 +17,10 @@
 #                                 invalidation benches re-integrate fuel
 #                                 costs over the whole network per op, so
 #                                 the default is looser (30)
+#   BENCH_INGEST_TOLERANCE_PCT    allowed ns/op regression for the ingest
+#                                 family (PR 6: batched submits, wire
+#                                 decode); end-to-end HTTP benches are
+#                                 noisy, so the default is looser (30)
 #   BENCH_COUNT                   runs per benchmark; the best run is
 #                                 compared, which filters scheduler noise
 #                                 (default 3)
@@ -26,12 +30,14 @@ cd "$(dirname "$0")/.."
 baseline1="${1:-BENCH_PR1.json}"
 baseline4="${2:-BENCH_PR4.json}"
 baseline5="${3:-BENCH_PR5.json}"
+baseline6="${4:-BENCH_PR6.json}"
 tol1="${BENCH_TOLERANCE_PCT:-10}"
 tol4="${BENCH_SERVING_TOLERANCE_PCT:-30}"
 tol5="${BENCH_ECOROUTE_TOLERANCE_PCT:-30}"
+tol6="${BENCH_INGEST_TOLERANCE_PCT:-30}"
 count="${BENCH_COUNT:-3}"
 
-for b in "$baseline1" "$baseline4" "$baseline5"; do
+for b in "$baseline1" "$baseline4" "$baseline5" "$baseline6"; do
     if [ ! -f "$b" ]; then
         echo "bench_check: baseline $b not found" >&2
         exit 1
@@ -106,3 +112,6 @@ compare "$tmp" "$baseline4" "$tol4"
 
 go test -run '^$' -bench 'BenchmarkEcoRoute' -benchmem -count="$count" ./internal/ecoroute ./internal/cloud >"$tmp"
 compare "$tmp" "$baseline5" "$tol5"
+
+go test -run '^$' -bench 'BenchmarkIngest' -benchmem -count="$count" ./internal/cloud >"$tmp"
+compare "$tmp" "$baseline6" "$tol6"

@@ -25,6 +25,12 @@ echo "== go test -race (serving concurrency gate) =="
 # fast with a focused report.
 go test -race -count=1 ./internal/cloud/... ./internal/fusion/... ./internal/ecoroute/...
 
+echo "== go test -race (write coalescer gate) =="
+# The batched-ingest coalescer interleaves enqueue, per-shard folding, and
+# Close-time draining; hammer exactly those tests uncached so a regression
+# in the shutdown or idempotency interleavings fails with a focused report.
+go test -race -count=2 -run 'TestCoalescer|TestKeyRingConcurrent|TestBatched' ./internal/cloud
+
 echo "== go test -race =="
 go test -race ./...
 
