@@ -14,6 +14,8 @@
 //	                               folded through the write coalescer
 //	GET  /v1/roads/{id}/profile
 //	GET  /v1/roads
+//	GET  /v1/devices/{id}          per-device trust state (reputation, learned
+//	                               bias) under a robust -fusion-policy
 //	GET  /v1/route                 eco-routing over the fused map (needs -route-km)
 //
 // Observability (on -debug-addr, kept off the public listener; empty
@@ -21,7 +23,8 @@
 //
 //	GET /metrics        Prometheus text exposition (pipeline, fusion,
 //	                    kalman, cloud, and runtime metrics)
-//	GET /healthz        liveness probe with road/submission counts
+//	GET /healthz        liveness probe with road/submission counts and
+//	                    coalescer queue depth / shed totals
 //	GET /debug/pprof/   net/http/pprof profiles
 //
 // Requests are logged one structured line each (-log-format text|json) with
@@ -46,6 +49,7 @@ import (
 
 	"roadgrade/internal/cloud"
 	"roadgrade/internal/ecoroute"
+	"roadgrade/internal/fusion"
 	"roadgrade/internal/obs"
 	"roadgrade/internal/road"
 )
@@ -79,12 +83,18 @@ func debugHandler(srv *cloud.Server, start time.Time) http.Handler {
 		for _, rs := range roads {
 			submissions += rs.Submissions
 		}
+		enabled, queued, shed := srv.CoalesceStats()
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"status":         "ok",
 			"uptime_seconds": time.Since(start).Seconds(),
 			"roads":          len(roads),
 			"submissions":    submissions,
+			"coalescer": map[string]any{
+				"enabled":     enabled,
+				"queue_depth": queued,
+				"shed_total":  shed,
+			},
 		})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -106,7 +116,13 @@ func run() error {
 	coalesce := flag.Bool("coalesce", true, "batched submits fold through per-shard write coalescing with admission control")
 	queueDepth := flag.Int("queue-depth", 1024, "coalescer queue depth per shard (backpressure threshold)")
 	batchMax := flag.Int("batch-max", 256, "max submissions folded per shard-lock acquisition")
+	policyName := flag.String("fusion-policy", "naive", "per-road fusion policy: naive | huber | trimmed (robust policies weight submissions by device trust)")
 	flag.Parse()
+
+	policy, err := fusion.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
 
 	logger, err := newLogger(*logFormat)
 	if err != nil {
@@ -120,6 +136,10 @@ func run() error {
 		fusionSrv = cloud.NewServer()
 	}
 	fusionSrv.Logger = logger
+	fusionSrv.Policy = policy
+	if policy.Robust() {
+		logger.Info("robust fusion enabled", "policy", string(policy.Policy))
+	}
 	if *coalesce {
 		fusionSrv.EnableCoalescing(cloud.CoalesceConfig{
 			QueueDepth: *queueDepth,

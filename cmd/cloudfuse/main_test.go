@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"roadgrade/internal/cloud"
+	"roadgrade/internal/fusion"
+)
+
+// TestHealthzShape pins the /healthz contract: status, uptime, road and
+// submission counts, and the coalescer block (enabled, queue_depth,
+// shed_total) that load-balancer probes and dashboards read.
+func TestHealthzShape(t *testing.T) {
+	srv := cloud.NewServerWithShards(2)
+	srv.EnableCoalescing(cloud.CoalesceConfig{})
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	p := &fusion.Profile{SpacingM: 5, S: make([]float64, 10), GradeRad: make([]float64, 10), Var: make([]float64, 10)}
+	for i := range p.S {
+		p.S[i] = float64(i) * 5
+		p.GradeRad[i] = 0.01 * rng.NormFloat64()
+		p.Var[i] = 1e-5
+	}
+	for i := 0; i < 3; i++ {
+		if err := srv.Submit("r1", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ts := httptest.NewServer(debugHandler(srv, time.Now().Add(-time.Second)))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var body struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Roads         int     `json:"roads"`
+		Submissions   int     `json:"submissions"`
+		Coalescer     *struct {
+			Enabled    bool   `json:"enabled"`
+			QueueDepth int    `json:"queue_depth"`
+			ShedTotal  uint64 `json:"shed_total"`
+		} `json:"coalescer"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Errorf("status = %q", body.Status)
+	}
+	if body.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v", body.UptimeSeconds)
+	}
+	if body.Roads != 1 || body.Submissions != 3 {
+		t.Errorf("roads/submissions = %d/%d, want 1/3", body.Roads, body.Submissions)
+	}
+	if body.Coalescer == nil {
+		t.Fatal("coalescer block missing")
+	}
+	if !body.Coalescer.Enabled {
+		t.Error("coalescer.enabled = false on a coalescing server")
+	}
+	if body.Coalescer.QueueDepth < 0 {
+		t.Errorf("queue_depth = %d", body.Coalescer.QueueDepth)
+	}
+
+	// A plain (non-coalescing) server still reports the block, disabled.
+	plain := cloud.NewServer()
+	ts2 := httptest.NewServer(debugHandler(plain, time.Now()))
+	defer ts2.Close()
+	resp2, err := ts2.Client().Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Coalescer == nil || body.Coalescer.Enabled {
+		t.Errorf("plain server coalescer block = %+v, want present and disabled", body.Coalescer)
+	}
+}
+
+// TestNewLogger covers the -log-format gate.
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		if _, err := newLogger(format); err != nil {
+			t.Errorf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("yaml"); err == nil {
+		t.Error("unknown log format should error")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"roadgrade/internal/cloud"
+	"roadgrade/internal/faultinject"
 	"roadgrade/internal/fusion"
 	"roadgrade/internal/obs"
 )
@@ -91,13 +92,16 @@ type device struct {
 	class byte    // index into the mix
 	bias  float64 // fixed calibration bias folded into every estimate
 	sigma float64 // this device's noise level (class sigma scaled 0.5x-1.5x)
+	// adv, when non-nil, corrupts every profile this device submits
+	// (-bad-frac of the fleet runs the -bad-class adversary).
+	adv faultinject.Adversary
 }
 
 // devicePRNGMix decorrelates adjacent device ids into well-spread seeds
 // (splitmix64's golden-ratio increment).
 const devicePRNGMix uint64 = 0x9E3779B97F4A7C15
 
-func deriveDevice(seed int64, id int, mix []vehicleClass) device {
+func deriveDevice(seed int64, id int, mix []vehicleClass, badFrac float64, adv faultinject.Adversary) device {
 	rng := rand.New(rand.NewSource(seed ^ int64(uint64(id)*devicePRNGMix)))
 	u := rng.Float64()
 	cls := 0
@@ -110,17 +114,24 @@ func deriveDevice(seed int64, id int, mix []vehicleClass) device {
 		cls = i // rounding tail lands on the last class
 	}
 	c := mix[cls]
-	return device{
+	d := device{
 		class: byte(cls),
 		bias:  c.biasMax * (2*rng.Float64() - 1),
 		sigma: c.sigma * (0.5 + rng.Float64()),
 	}
+	// Drawn after the attribute draws, so turning the adversary knob does
+	// not reshuffle which class/bias/noise each device id gets.
+	if adv != nil && rng.Float64() < badFrac {
+		d.adv = adv
+	}
+	return d
 }
 
 // senseRoad is the phone-side sense->estimate step: the road's true terrain
 // (deterministic per road id) plus the device's bias and noise, with the
-// variance the device reports for its own noise level.
-func senseRoad(rng *rand.Rand, dev device, road, cells int) *fusion.Profile {
+// variance the device reports for its own noise level. Adversarial devices
+// corrupt the finished estimate right before upload.
+func senseRoad(rng *rand.Rand, dev device, road, cells, round int) *fusion.Profile {
 	p := &fusion.Profile{
 		SpacingM: 5,
 		S:        make([]float64, cells),
@@ -134,6 +145,9 @@ func senseRoad(rng *rand.Rand, dev device, road, cells int) *fusion.Profile {
 		p.GradeRad[i] = 0.03*math.Sin(float64(i)/40+phase) + dev.bias + dev.sigma*rng.NormFloat64()
 		p.Var[i] = variance
 	}
+	if dev.adv != nil {
+		dev.adv.Corrupt(p, round, rng)
+	}
 	return p
 }
 
@@ -142,6 +156,7 @@ type fleetReport struct {
 	Config  config
 	Classes []vehicleClass
 	Counts  []uint64 // devices per class, aligned with Classes
+	Bad     uint64   // devices assigned the adversary
 
 	Submissions uint64 // offered (phones x rounds)
 	Accepted    uint64
@@ -176,6 +191,10 @@ func (r *fleetReport) String() string {
 		}
 		fmt.Fprintf(&classes, "%s %.1f%%", c.name, 100*float64(r.Counts[i])/float64(r.Config.phones))
 	}
+	if r.Config.badFrac > 0 {
+		fmt.Fprintf(&classes, "  adversary %s %.1f%% (%d devices)",
+			r.Config.badClass, 100*float64(r.Bad)/float64(r.Config.phones), r.Bad)
+	}
 	return fmt.Sprintf(
 		"cloudload fleet: %s · %d phones · %d rounds · batch %d (%s) · %d workers · %d roads · seed %d\n"+
 			"  submissions %d  (accepted %d, dup %d, rejected %d, shed %d, errors %d)\n"+
@@ -209,6 +228,9 @@ func (cfg *config) validateFleet() ([]vehicleClass, error) {
 	if cfg.stagger < 0 {
 		return nil, errors.New("-stagger must be >= 0")
 	}
+	if cfg.badFrac < 0 || cfg.badFrac > 1 {
+		return nil, errors.New("-bad-frac must be in [0, 1]")
+	}
 	mix, err := parseMix(cfg.mix)
 	if err != nil {
 		return nil, fmt.Errorf("-mix: %w", err)
@@ -228,6 +250,21 @@ func runFleet(cfg config) (*fleetReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	var adv faultinject.Adversary
+	if cfg.badFrac > 0 {
+		if adv, err = faultinject.AdversaryByName(cfg.badClass); err != nil {
+			return nil, fmt.Errorf("-bad-class: %w", err)
+		}
+	}
+	var policy fusion.FusionPolicy
+	if cfg.policy != "" {
+		if policy, err = fusion.ParsePolicy(cfg.policy); err != nil {
+			return nil, fmt.Errorf("-fusion-policy: %w", err)
+		}
+		if cfg.addr != "" {
+			return nil, errors.New("-fusion-policy configures the in-process server; a remote -addr server picks its own")
+		}
+	}
 
 	base := cfg.addr
 	if base == "" {
@@ -241,6 +278,7 @@ func runFleet(cfg config) (*fleetReport, error) {
 		} else {
 			srv = cloud.NewServer()
 		}
+		srv.Policy = policy
 		srv.EnableCoalescing(cloud.CoalesceConfig{
 			QueueDepth: cfg.queueDepth,
 			BatchMax:   cfg.batchMax,
@@ -255,9 +293,13 @@ func runFleet(cfg config) (*fleetReport, error) {
 	// Static per-device attributes, derived once. 1M devices is ~17 MB.
 	devices := make([]device, cfg.phones)
 	counts := make([]uint64, len(mix))
+	var badCount uint64
 	for id := range devices {
-		devices[id] = deriveDevice(cfg.seed, id, mix)
+		devices[id] = deriveDevice(cfg.seed, id, mix, cfg.badFrac, adv)
 		counts[devices[id].class]++
+		if devices[id].adv != nil {
+			badCount++
+		}
 	}
 
 	hc := &http.Client{Transport: cloud.NewTransport(cfg.conns)}
@@ -330,7 +372,8 @@ func runFleet(cfg config) (*fleetReport, error) {
 						// Cheap per-device sequence key: idempotent across
 						// client retries without hashing the payload.
 						Key:     fmt.Sprintf("d%x-r%d", id, round),
-						Profile: senseRoad(rng, devices[id], road, cfg.cells),
+						Device:  fmt.Sprintf("ph-%x", id),
+						Profile: senseRoad(rng, devices[id], road, cfg.cells, round),
 					})
 					if len(items) == cfg.batch {
 						flush()
@@ -351,6 +394,7 @@ func runFleet(cfg config) (*fleetReport, error) {
 		Config:      cfg,
 		Classes:     mix,
 		Counts:      counts,
+		Bad:         badCount,
 		Submissions: uint64(cfg.phones) * uint64(cfg.rounds),
 		Accepted:    accepted.Load(),
 		Duplicate:   duplicate.Load(),

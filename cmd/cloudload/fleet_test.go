@@ -43,6 +43,9 @@ func TestFleetFlagConflicts(t *testing.T) {
 		{"-binary=false"},
 		{"-mix", "car:1"},
 		{"-queue-depth", "10"},
+		{"-bad-frac", "0.3"},
+		{"-bad-class", "collude"},
+		{"-fusion-policy", "huber"},
 	} {
 		if _, _, err := parseFlags(args); err == nil {
 			t.Errorf("args %v should be rejected without -fleet", args)
@@ -86,6 +89,8 @@ func TestFleetValidation(t *testing.T) {
 		func(c *config) { c.mix = "car:0.5" },
 		func(c *config) { c.stagger = -time.Second },
 		func(c *config) { c.clients = 0 },
+		func(c *config) { c.badFrac = -0.1 },
+		func(c *config) { c.badFrac = 1.5 },
 	}
 	for i, mut := range bad {
 		cfg := base
@@ -160,6 +165,53 @@ func TestRunFleetSmall(t *testing.T) {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRunFleetAdversarial turns on the poisoning knobs: a quarter of the
+// fleet runs the constant-bias adversary against a huber-policy server. All
+// submissions still validate and fold; the adversary assignment is
+// deterministic per seed; the report names the adversary.
+func TestRunFleetAdversarial(t *testing.T) {
+	cfg := config{
+		clients: 4, roads: 4, cells: 20, seed: 11,
+		fleet: true, phones: 200, rounds: 2, batch: 32,
+		binary: true, mix: "car:1",
+		badFrac: 0.25, badClass: "const-bias", policy: "huber",
+	}
+	rep, err := runFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != rep.Submissions || rep.Rejected != 0 || rep.Errors != 0 {
+		t.Errorf("adversarial fleet should still be accepted: %+v", rep)
+	}
+	// ~25% of 200 devices; the binomial draw should land well inside [20, 80].
+	if rep.Bad < 20 || rep.Bad > 80 {
+		t.Errorf("bad devices = %d, want ~50", rep.Bad)
+	}
+	if out := rep.String(); !strings.Contains(out, "const-bias") {
+		t.Errorf("report does not name the adversary:\n%s", out)
+	}
+	rep2, err := runFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Bad != rep.Bad {
+		t.Errorf("adversary assignment not deterministic: %d vs %d", rep.Bad, rep2.Bad)
+	}
+
+	if _, err := runFleet(config{
+		clients: 1, roads: 1, cells: 5, fleet: true, phones: 2, rounds: 1, batch: 1,
+		mix: "car:1", badFrac: 0.5, badClass: "nope",
+	}); err == nil {
+		t.Error("unknown -bad-class should fail")
+	}
+	if _, err := runFleet(config{
+		clients: 1, roads: 1, cells: 5, fleet: true, phones: 2, rounds: 1, batch: 1,
+		mix: "car:1", policy: "median",
+	}); err == nil {
+		t.Error("unknown -fusion-policy should fail")
 	}
 }
 

@@ -94,6 +94,9 @@ type config struct {
 	stagger    time.Duration // spread each round's start across workers
 	queueDepth int           // in-process coalescer queue depth per shard (0: default)
 	batchMax   int           // in-process coalescer fold batch cap (0: default)
+	badFrac    float64       // fraction of devices running the adversary
+	badClass   string        // adversary class name (internal/faultinject)
+	policy     string        // in-process server fusion policy (naive/huber/trimmed)
 }
 
 func parseFlags(args []string) (config, bool, error) {
@@ -122,6 +125,9 @@ func parseFlags(args []string) (config, bool, error) {
 	fs.DurationVar(&cfg.stagger, "stagger", 0, "fleet: spread each round's start across workers")
 	fs.IntVar(&cfg.queueDepth, "queue-depth", 0, "fleet: in-process coalescer queue depth per shard (0: default)")
 	fs.IntVar(&cfg.batchMax, "batch-max", 0, "fleet: in-process coalescer fold batch cap (0: default)")
+	fs.Float64Var(&cfg.badFrac, "bad-frac", 0, "fleet: fraction of devices running the -bad-class adversary")
+	fs.StringVar(&cfg.badClass, "bad-class", "const-bias", "fleet: adversary class (const-bias, drift-bias, collude, overconfident)")
+	fs.StringVar(&cfg.policy, "fusion-policy", "", "fleet: in-process server fusion policy (naive, huber, trimmed; empty = naive)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, false, err
 	}
@@ -136,7 +142,7 @@ func parseFlags(args []string) (config, bool, error) {
 // it. Shared knobs (clients, roads, cells, seed, conns, shards, retries,
 // addr, metrics) are fine in either mode.
 var (
-	fleetOnlyFlags    = []string{"phones", "rounds", "batch", "binary", "gzip", "mix", "stagger", "queue-depth", "batch-max"}
+	fleetOnlyFlags    = []string{"phones", "rounds", "batch", "binary", "gzip", "mix", "stagger", "queue-depth", "batch-max", "bad-frac", "bad-class", "fusion-policy"}
 	perOpHarnessFlags = []string{"read-frac", "ops", "prefill", "duration"}
 )
 

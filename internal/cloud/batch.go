@@ -40,6 +40,7 @@ type batchRequestDTO struct {
 type batchItemDTO struct {
 	RoadID  string     `json:"road_id"`
 	Key     string     `json:"key,omitempty"`
+	Device  string     `json:"device,omitempty"`
 	Profile ProfileDTO `json:"profile"`
 }
 
@@ -134,6 +135,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 			backing[i] = pendingItem{
 				roadID: items[i].RoadID,
 				key:    items[i].Key,
+				device: items[i].Device,
 				p:      items[i].Profile,
 				out:    &results[i],
 				done:   &done,
@@ -185,11 +187,14 @@ func decodeBatch(contentType string, body []byte) ([]BatchItem, error) {
 			if len(dto.Items[i].Key) > maxKeyLen {
 				return nil, fmt.Errorf("cloud: batch item %d: idempotency key too long", i)
 			}
+			if err := validDeviceID(dto.Items[i].Device); err != nil {
+				return nil, fmt.Errorf("cloud: batch item %d: %w", i, err)
+			}
 			p, err := dto.Items[i].Profile.toProfile()
 			if err != nil {
 				return nil, fmt.Errorf("cloud: batch item %d: %w", i, err)
 			}
-			items[i] = BatchItem{RoadID: dto.Items[i].RoadID, Key: dto.Items[i].Key, Profile: p}
+			items[i] = BatchItem{RoadID: dto.Items[i].RoadID, Key: dto.Items[i].Key, Device: dto.Items[i].Device, Profile: p}
 		}
 		return items, nil
 	default:

@@ -430,6 +430,7 @@ func (c *Client) encodeBatch(items []BatchItem) (body []byte, contentType string
 		dto.Items[i] = batchItemDTO{
 			RoadID:  items[i].RoadID,
 			Key:     items[i].Key,
+			Device:  items[i].Device,
 			Profile: FromProfile(items[i].Profile),
 		}
 	}
@@ -535,10 +536,7 @@ func (c *Client) submitBatchOnce(ctx context.Context, batch []BatchItem) ([]Batc
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
 		return nil, 0, fmt.Errorf("cloud: batch submit failed: %s", readError(resp))
 	}
-	var retryAfter time.Duration
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		retryAfter = time.Duration(secs) * time.Second
-	}
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	rb, err := responseBody(resp)
 	if err != nil {
 		return nil, 0, err
@@ -548,6 +546,29 @@ func (c *Client) submitBatchOnce(ctx context.Context, batch []BatchItem) ([]Batc
 		return nil, 0, fmt.Errorf("cloud: decoding batch response: %w", err)
 	}
 	return dto.Results, retryAfter, nil
+}
+
+// parseRetryAfter interprets a Retry-After value per RFC 9110 §10.2.3:
+// either non-negative delta-seconds or an HTTP-date (IMF-fixdate, obsolete
+// RFC 850, or ANSI C asctime — http.ParseTime accepts all three). now
+// anchors the date form. An absent, malformed, zero, or already-elapsed
+// value yields 0 (no server hint; the client falls back to its own backoff).
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func readError(resp *http.Response) string {

@@ -110,6 +110,10 @@ type Server struct {
 	shards    []shard
 	shardMask uint32
 
+	// devShards is the per-device trust table (device.go), sharded like
+	// the road store.
+	devShards []deviceShard
+
 	// coal, when set via EnableCoalescing, runs the batched ingest path
 	// through per-shard write coalescing with admission control.
 	coal *coalescer
@@ -127,6 +131,12 @@ type Server struct {
 	// data). Default 64. The value is captured per road at its first
 	// submission.
 	MaxSubmissionsPerRoad int
+
+	// Policy selects the per-cell fusion estimator (zero value = naive,
+	// the plain Eq. (6) inverse-variance average). Like
+	// MaxSubmissionsPerRoad it is captured per road at the road's first
+	// submission, so set it before serving traffic.
+	Policy fusion.FusionPolicy
 
 	// Logger, when set, enables structured access logging (one line per
 	// request: method, route, status, bytes, duration, request id,
@@ -163,6 +173,7 @@ func NewServerWithShards(n int) *Server {
 	s := &Server{
 		shards:                make([]shard, pow),
 		shardMask:             uint32(pow - 1),
+		devShards:             make([]deviceShard, pow),
 		MaxSubmissionsPerRoad: 64,
 	}
 	perShard := maxDedupKeys / pow
@@ -172,23 +183,39 @@ func NewServerWithShards(n int) *Server {
 	for i := range s.shards {
 		s.shards[i].roads = make(map[string]*roadState)
 		s.shards[i].dedup = newKeyRing(perShard)
+		s.devShards[i].devices = make(map[string]*deviceEntry)
 	}
 	return s
 }
 
-// Submit stores one vehicle's profile for a road. The profile is retained by
+// Submit stores one anonymous profile for a road. The profile is retained by
 // reference and must not be mutated by the caller afterwards.
 func (s *Server) Submit(roadID string, p *fusion.Profile) error {
+	return s.SubmitDevice(roadID, "", p)
+}
+
+// SubmitDevice stores one profile for a road, attributed to a device. A
+// non-empty deviceID consults and updates that device's trust state
+// (reputation, learned bias) as part of the fold; an empty id submits
+// anonymously at full weight.
+func (s *Server) SubmitDevice(roadID, deviceID string, p *fusion.Profile) error {
 	if roadID == "" {
 		return errors.New("cloud: empty road id")
 	}
 	if p == nil || p.Len() == 0 {
 		return errors.New("cloud: empty profile")
 	}
+	if err := validDeviceID(deviceID); err != nil {
+		return err
+	}
+	var de *deviceEntry
+	if deviceID != "" {
+		de = s.deviceFor(deviceID)
+	}
 	rs := s.roadFor(roadID)
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	if err := rs.addLocked(p); err != nil {
+	if err := rs.addLocked(p, de); err != nil {
 		return fmt.Errorf("cloud: road %s: %w", roadID, err)
 	}
 	rs.gen++ // invalidates the fused snapshot and encoded caches
@@ -234,8 +261,14 @@ func (s *Server) FusedGeneration(roadID string) (*fusion.Profile, uint64, error)
 // always stores. Keys are deduplicated within the road's shard (a client's
 // key embeds the road id, so its retries always land on the same ring).
 func (s *Server) SubmitIdempotent(roadID, key string, p *fusion.Profile) (duplicate bool, err error) {
+	return s.SubmitIdempotentDevice(roadID, key, "", p)
+}
+
+// SubmitIdempotentDevice is SubmitIdempotent with device attribution
+// (SubmitDevice's deviceID semantics).
+func (s *Server) SubmitIdempotentDevice(roadID, key, deviceID string, p *fusion.Profile) (duplicate bool, err error) {
 	if key == "" {
-		return false, s.Submit(roadID, p)
+		return false, s.SubmitDevice(roadID, deviceID, p)
 	}
 	// Reserve the key atomically so two concurrent retries of the same
 	// upload cannot both store.
@@ -246,7 +279,7 @@ func (s *Server) SubmitIdempotent(roadID, key string, p *fusion.Profile) (duplic
 	if dup {
 		return true, nil
 	}
-	if err := s.Submit(roadID, p); err != nil {
+	if err := s.SubmitDevice(roadID, deviceID, p); err != nil {
 		// Release the reservation: a rejected submission must stay
 		// retryable after the client fixes it.
 		sh.mu.Lock()
@@ -377,6 +410,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/roads/{id}/profile", s.instrument(routeFused, s.handleFused))
 	mux.Handle("GET /v1/roads", s.instrument(routeList, s.handleList))
 	mux.Handle("GET /v1/route", s.instrument(routeRoute, s.handleRoute))
+	mux.Handle("GET /v1/devices/{id}", s.instrument(routeDevice, s.handleDevice))
 	return RequestID(mux)
 }
 
@@ -424,7 +458,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	dup, err := s.SubmitIdempotent(id, r.Header.Get("Idempotency-Key"), p)
+	device := r.Header.Get("X-Device-Id")
+	if err := validDeviceID(device); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	dup, err := s.SubmitIdempotentDevice(id, r.Header.Get("Idempotency-Key"), device, p)
 	if err != nil {
 		httpError(w, http.StatusConflict, err)
 		return

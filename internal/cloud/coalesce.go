@@ -17,6 +17,7 @@ package cloud
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"roadgrade/internal/fusion"
@@ -70,6 +71,7 @@ type BatchItemResult struct {
 type pendingItem struct {
 	roadID string
 	key    string
+	device string
 	p      *fusion.Profile
 	out    *BatchItemResult
 	done   *sync.WaitGroup
@@ -107,6 +109,11 @@ type coalescer struct {
 	queues []chan *pendingItem
 	quit   chan struct{}
 	wg     sync.WaitGroup
+
+	// shed counts submissions dropped by admission control since the
+	// coalescer started (per server, unlike the process-wide obs counter;
+	// surfaced on /healthz via CoalesceStats).
+	shed atomic.Uint64
 
 	// mu serializes enqueues against Close: enqueue holds the read side, so
 	// once Close holds the write side and flips closed, no new item can
@@ -196,10 +203,22 @@ func (s *Server) enqueue(items []*pendingItem) (shed int) {
 		}
 	}
 	if shed > 0 {
+		c.shed.Add(uint64(shed))
 		obsSubmitShed.Add(uint64(shed))
 		batchItemCounter(statusShed).Add(uint64(shed))
 	}
 	return shed
+}
+
+// CoalesceStats reports the write coalescer's health for probes (/healthz):
+// whether coalescing is enabled, the items currently queued across shards,
+// and the total submissions shed by admission control.
+func (s *Server) CoalesceStats() (enabled bool, queued int, shed uint64) {
+	c := s.coal
+	if c == nil {
+		return false, 0, 0
+	}
+	return true, c.queueDepth(), c.shed.Load()
 }
 
 // coalesceWorker drains shard i's queue until Close. Each pass collects up
@@ -287,7 +306,11 @@ func (s *Server) foldShard(sh *shard, items []*pendingItem) {
 		rs := s.roadFor(road)
 		rs.mu.Lock()
 		for _, it := range group {
-			if err := rs.addLocked(it.p); err != nil {
+			var de *deviceEntry
+			if it.device != "" {
+				de = s.deviceFor(it.device)
+			}
+			if err := rs.addLocked(it.p, de); err != nil {
 				it.out.Status = statusRejected
 				it.out.Error = err.Error()
 				if it.key != "" {
@@ -329,7 +352,7 @@ func (s *Server) foldShard(sh *shard, items []*pendingItem) {
 // and decode cost across the batch, just not the lock acquisitions.
 func (s *Server) foldDirect(items []BatchItem, results []BatchItemResult) {
 	for i := range items {
-		dup, err := s.SubmitIdempotent(items[i].RoadID, items[i].Key, items[i].Profile)
+		dup, err := s.SubmitIdempotentDevice(items[i].RoadID, items[i].Key, items[i].Device, items[i].Profile)
 		switch {
 		case err != nil:
 			results[i] = BatchItemResult{Status: statusRejected, Error: err.Error()}

@@ -11,11 +11,13 @@ package cloud
 // Layout (all integers are unsigned varints unless noted):
 //
 //	magic   3 bytes  "RGB"           (RoadGrade Batch)
-//	version 1 byte   0x01
+//	version 1 byte   0x02            (0x01 accepted on decode)
 //	nItems  uvarint  1..maxBatchItems
 //	item × nItems:
 //	  roadID   uvarint length (1..maxRoadIDLen) + bytes
 //	  key      uvarint length (0..maxKeyLen) + bytes   (0 = no idempotency key)
+//	  device   uvarint length (0..maxDeviceIDLen) + bytes   (version >= 2;
+//	           0 = anonymous submission; absent in version 1)
 //	  spacing  8 bytes little-endian IEEE-754 float64 bits
 //	  nCells   uvarint  1..maxProfileCells
 //	  grades   nCells zigzag varints: deltas of qᵢ = round(gradeᵢ/1e-9),
@@ -47,10 +49,12 @@ const (
 )
 
 // BatchItem is one profile submission inside a batch: the road it belongs
-// to, an optional idempotency key, and the profile itself.
+// to, an optional idempotency key, an optional submitting device id (empty =
+// anonymous), and the profile itself.
 type BatchItem struct {
 	RoadID  string
 	Key     string
+	Device  string
 	Profile *fusion.Profile
 }
 
@@ -58,8 +62,12 @@ type BatchItem struct {
 // cannot make the decoder allocate unbounded strings; item count bounds the
 // per-request fold work.
 const (
-	binaryMagic   = "RGB"
-	binaryVersion = 0x01
+	binaryMagic = "RGB"
+	// binaryVersion is what the encoder writes; binaryVersionV1 (the PR 6
+	// format, identical except for the absent device field) is still
+	// accepted on decode so a deployed fleet upgrades without a flag day.
+	binaryVersion   = 0x02
+	binaryVersionV1 = 0x01
 
 	maxBatchItems = 4096
 	maxRoadIDLen  = 256
@@ -130,6 +138,9 @@ func appendItem(buf []byte, it *BatchItem) ([]byte, error) {
 	if len(it.Key) > maxKeyLen {
 		return nil, fmt.Errorf("idempotency key too long (%d bytes, max %d)", len(it.Key), maxKeyLen)
 	}
+	if err := validDeviceID(it.Device); err != nil {
+		return nil, err
+	}
 	p := it.Profile
 	if p == nil || p.Len() == 0 {
 		return nil, errors.New("empty profile")
@@ -147,6 +158,8 @@ func appendItem(buf []byte, it *BatchItem) ([]byte, error) {
 	buf = append(buf, it.RoadID...)
 	buf = binary.AppendUvarint(buf, uint64(len(it.Key)))
 	buf = append(buf, it.Key...)
+	buf = binary.AppendUvarint(buf, uint64(len(it.Device)))
+	buf = append(buf, it.Device...)
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.SpacingM))
 	buf = binary.AppendUvarint(buf, uint64(p.Len()))
 	prev := int64(0)
@@ -216,8 +229,9 @@ func DecodeBatchBinary(data []byte) ([]BatchItem, error) {
 	if string(head[:3]) != binaryMagic {
 		return nil, errors.New("cloud: bad batch magic")
 	}
-	if head[3] != binaryVersion {
-		return nil, fmt.Errorf("cloud: unsupported batch version %d", head[3])
+	version := head[3]
+	if version != binaryVersion && version != binaryVersionV1 {
+		return nil, fmt.Errorf("cloud: unsupported batch version %d", version)
 	}
 	nItems, err := r.uvarint()
 	if err != nil {
@@ -228,7 +242,7 @@ func DecodeBatchBinary(data []byte) ([]BatchItem, error) {
 	}
 	items := make([]BatchItem, 0, nItems)
 	for i := uint64(0); i < nItems; i++ {
-		it, err := r.readItem()
+		it, err := r.readItem(version)
 		if err != nil {
 			return nil, fmt.Errorf("cloud: batch item %d: %w", i, err)
 		}
@@ -240,8 +254,8 @@ func DecodeBatchBinary(data []byte) ([]BatchItem, error) {
 	return items, nil
 }
 
-// readItem decodes one submission.
-func (r *binaryReader) readItem() (BatchItem, error) {
+// readItem decodes one submission of the given format version.
+func (r *binaryReader) readItem(version byte) (BatchItem, error) {
 	var it BatchItem
 	idLen, err := r.uvarint()
 	if err != nil {
@@ -267,6 +281,20 @@ func (r *binaryReader) readItem() (BatchItem, error) {
 		return it, err
 	}
 	it.Key = string(key)
+	if version >= 2 {
+		devLen, err := r.uvarint()
+		if err != nil {
+			return it, err
+		}
+		if devLen > maxDeviceIDLen {
+			return it, fmt.Errorf("device id length %d out of range", devLen)
+		}
+		dev, err := r.bytes(int(devLen))
+		if err != nil {
+			return it, err
+		}
+		it.Device = string(dev)
+	}
 	sp, err := r.bytes(8)
 	if err != nil {
 		return it, err

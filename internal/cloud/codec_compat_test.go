@@ -1,0 +1,127 @@
+package cloud
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// encodeBatchV1 reproduces the PR 6 wire format (version 0x01, no device
+// field) so the decoder's backward compatibility can be pinned down against
+// real v1 bytes, not a round-trip of the current encoder.
+func encodeBatchV1(t *testing.T, items []BatchItem) []byte {
+	t.Helper()
+	buf := []byte(binaryMagic)
+	buf = append(buf, binaryVersionV1)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for i := range items {
+		p := items[i].Profile
+		buf = binary.AppendUvarint(buf, uint64(len(items[i].RoadID)))
+		buf = append(buf, items[i].RoadID...)
+		buf = binary.AppendUvarint(buf, uint64(len(items[i].Key)))
+		buf = append(buf, items[i].Key...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.SpacingM))
+		buf = binary.AppendUvarint(buf, uint64(p.Len()))
+		prev := int64(0)
+		for _, g := range p.GradeRad {
+			q := int64(math.Round(g / gradeQuantum))
+			buf = binary.AppendUvarint(buf, zigzag(q-prev))
+			prev = q
+		}
+		prev = 0
+		for _, v := range p.Var {
+			q := int64(math.Round(v / varQuantum))
+			if q < 1 {
+				q = 1
+			}
+			buf = binary.AppendUvarint(buf, zigzag(q-prev))
+			prev = q
+		}
+	}
+	return buf
+}
+
+// TestDecodeBatchBinaryV1Compat: a version-1 batch (no device field) still
+// decodes, item for item, with empty Device — deployed PR 6 fleets keep
+// working against the upgraded server.
+func TestDecodeBatchBinaryV1Compat(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	items := []BatchItem{
+		{RoadID: "road-a", Key: "k1", Profile: realisticProfile(rng, 50)},
+		{RoadID: "road-b", Profile: realisticProfile(rng, 8)},
+	}
+	wire := encodeBatchV1(t, items)
+	dec, err := DecodeBatchBinary(wire)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if len(dec) != len(items) {
+		t.Fatalf("decoded %d items, want %d", len(dec), len(items))
+	}
+	for i := range dec {
+		if dec[i].RoadID != items[i].RoadID || dec[i].Key != items[i].Key {
+			t.Errorf("item %d: id/key mismatch: %+v", i, dec[i])
+		}
+		if dec[i].Device != "" {
+			t.Errorf("item %d: v1 item decoded with device %q", i, dec[i].Device)
+		}
+		if dec[i].Profile.Len() != items[i].Profile.Len() {
+			t.Errorf("item %d: %d cells, want %d", i, dec[i].Profile.Len(), items[i].Profile.Len())
+		}
+	}
+	// The same submissions through the v2 encoder must decode identically
+	// (modulo the now-present empty device field).
+	v2, err := EncodeBatchBinary(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2[3] != binaryVersion {
+		t.Fatalf("encoder wrote version %d, want %d", v2[3], binaryVersion)
+	}
+	dec2, err := DecodeBatchBinary(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		for c := range dec[i].Profile.GradeRad {
+			if math.Float64bits(dec[i].Profile.GradeRad[c]) != math.Float64bits(dec2[i].Profile.GradeRad[c]) {
+				t.Fatalf("item %d cell %d: v1 and v2 decode differ", i, c)
+			}
+		}
+	}
+}
+
+// TestCodecDeviceRoundTrip: device ids survive the binary codec, bounds are
+// enforced, and Decode∘Encode stays idempotent with devices present.
+func TestCodecDeviceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := []BatchItem{
+		{RoadID: "r", Key: "k", Device: "ph-00ff", Profile: realisticProfile(rng, 30)},
+		{RoadID: "r2", Device: "", Profile: realisticProfile(rng, 12)},
+	}
+	wire, err := EncodeBatchBinary(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBatchBinary(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0].Device != "ph-00ff" || dec[1].Device != "" {
+		t.Errorf("devices = %q, %q", dec[0].Device, dec[1].Device)
+	}
+	rewire, err := EncodeBatchBinary(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wire) != string(rewire) {
+		t.Error("Decode∘Encode not idempotent with device ids")
+	}
+
+	long := items[:1]
+	long[0].Device = string(make([]byte, maxDeviceIDLen+1))
+	if _, err := EncodeBatchBinary(long); err == nil {
+		t.Error("oversized device id should fail to encode")
+	}
+}

@@ -1,0 +1,304 @@
+package cloud
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"roadgrade/internal/fusion"
+)
+
+// newHTTPServer wraps a Server in an httptest server torn down with the test.
+func newHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestDeviceStateEndpoint drives attributed submissions through the single
+// submit door (X-Device-Id) and checks GET /v1/devices/{id}: JSON shape, 404
+// for unknown devices, 400 for oversized ids.
+func TestDeviceStateEndpoint(t *testing.T) {
+	srv := NewServerWithShards(4)
+	srv.Policy = fusion.FusionPolicy{Policy: fusion.PolicyHuber}
+	ts := newHTTPServer(t, srv)
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5; i++ {
+		body, _ := json.Marshal(FromProfile(realisticProfile(rng, 40)))
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/roads/r1/profiles", strings.NewReader(string(body)))
+		req.Header.Set("X-Device-Id", "ph-42")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/devices/ph-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("device GET: HTTP %d", resp.StatusCode)
+	}
+	var dto DeviceStateDTO
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.DeviceID != "ph-42" {
+		t.Errorf("device_id = %q", dto.DeviceID)
+	}
+	if dto.Submissions != 5 {
+		t.Errorf("submissions = %d, want 5", dto.Submissions)
+	}
+	if dto.Reputation <= 0 || dto.Reputation > 1 {
+		t.Errorf("reputation = %v out of (0, 1]", dto.Reputation)
+	}
+
+	if resp, err := ts.Client().Get(ts.URL + "/v1/devices/never-seen"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown device: HTTP %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := ts.Client().Get(ts.URL + "/v1/devices/" + strings.Repeat("x", maxDeviceIDLen+1)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("oversized device id: HTTP %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+// TestDeviceReputationDropsUnderAdversary: a constant-bias device folding
+// into a huber-policy server against honest traffic ends with low reputation
+// (or a learned bias), while honest devices stay trusted — the cloud-layer
+// mirror of the fusion-layer reputation tests.
+func TestDeviceReputationDropsUnderAdversary(t *testing.T) {
+	srv := NewServerWithShards(4)
+	srv.Policy = fusion.FusionPolicy{Policy: fusion.PolicyHuber}
+
+	rng := rand.New(rand.NewSource(9))
+	honest := []string{"h-0", "h-1", "h-2"}
+	base := realisticProfile(rng, 60)
+	submitLike := func(dev string, bias float64) {
+		p := &fusion.Profile{
+			SpacingM: base.SpacingM,
+			S:        append([]float64(nil), base.S...),
+			GradeRad: make([]float64, base.Len()),
+			Var:      make([]float64, base.Len()),
+		}
+		for c := range p.GradeRad {
+			p.GradeRad[c] = base.GradeRad[c] + bias + 0.003*rng.NormFloat64()
+			p.Var[c] = 9e-6
+		}
+		if err := srv.SubmitDevice("road", dev, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 12; round++ {
+		for _, h := range honest {
+			submitLike(h, 0)
+		}
+		if round >= 2 {
+			submitLike("evil", 0.09)
+		}
+	}
+	evil, ok := srv.DeviceState("evil")
+	if !ok {
+		t.Fatal("adversary device unknown")
+	}
+	// The trust layer neutralizes a constant-bias device one of two ways:
+	// reputation collapse, or learning (and subtracting) the bias. Either
+	// leaves the device flagged as downweighted at least once.
+	if evil.Reputation > 0.6 && math.Abs(evil.BiasRad) < 0.03 {
+		t.Errorf("adversary neither demoted nor bias-corrected: rep=%.3f bias=%.4f", evil.Reputation, evil.BiasRad)
+	}
+	if evil.Downweighted == 0 {
+		t.Error("adversary never downweighted")
+	}
+	for _, h := range honest {
+		st, ok := srv.DeviceState(h)
+		if !ok {
+			t.Fatalf("honest device %s unknown", h)
+		}
+		if st.Reputation < 0.7 {
+			t.Errorf("honest device %s demoted to %.3f", h, st.Reputation)
+		}
+	}
+	if srv.Devices() != 4 {
+		t.Errorf("Devices() = %d, want 4", srv.Devices())
+	}
+}
+
+// TestDeviceCoalescedBitIdentical extends the PR 6 determinism property to
+// attributed robust fusion: the same per-road submission sequence — now with
+// device ids and a huber policy — through the coalesced batch path and the
+// direct SubmitDevice path must produce Float64bits-identical fused maps,
+// and the same device trust state. Each device submits to a single road, so
+// its state sequence is pinned by that road's FIFO order.
+func TestDeviceCoalescedBitIdentical(t *testing.T) {
+	for _, window := range []int{0, 3, 8} {
+		t.Run(fmt.Sprintf("window=%d", window), func(t *testing.T) {
+			srv, ts := newCoalescedServer(t, CoalesceConfig{}, window)
+			srv.Policy = fusion.FusionPolicy{Policy: fusion.PolicyHuber}
+			direct := NewServerWithShards(4)
+			direct.Policy = fusion.FusionPolicy{Policy: fusion.PolicyHuber}
+			if window > 0 {
+				direct.MaxSubmissionsPerRoad = window
+			}
+
+			cli, err := NewClient(ts.URL, ts.Client(), WithBinaryBatch(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(17 + window)))
+			roads := []string{"r-a", "r-b", "r-c"}
+			seq := 0
+			for batch := 0; batch < 6; batch++ {
+				n := 3 + rng.Intn(6)
+				items := make([]BatchItem, n)
+				for i := range items {
+					ri := rng.Intn(len(roads))
+					p := realisticProfile(rng, 40+rng.Intn(30))
+					if rng.Intn(3) == 0 { // a rotating miscalibrated device per road
+						for c := range p.GradeRad {
+							p.GradeRad[c] += 0.06
+						}
+					}
+					items[i] = BatchItem{
+						RoadID:  roads[ri],
+						Key:     fmt.Sprintf("k-%d", seq),
+						Device:  fmt.Sprintf("dev-%s-%d", roads[ri], seq%2),
+						Profile: p,
+					}
+					seq++
+				}
+				res, err := cli.SubmitBatch(context.Background(), items)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range res {
+					if r.Status != "accepted" {
+						t.Fatalf("batch %d item %d: %+v", batch, i, r)
+					}
+				}
+				enc, err := EncodeBatchBinary(items)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec, err := DecodeBatchBinary(enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range dec {
+					if dec[i].Device == "" {
+						t.Fatal("device id lost in binary round-trip")
+					}
+					if err := direct.SubmitDevice(dec[i].RoadID, dec[i].Device, dec[i].Profile); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for _, road := range roads {
+				got, err := srv.Fused(road)
+				if err != nil {
+					t.Fatalf("coalesced %s: %v", road, err)
+				}
+				want, err := direct.Fused(road)
+				if err != nil {
+					t.Fatalf("direct %s: %v", road, err)
+				}
+				if got.Len() != want.Len() || got.SpacingM != want.SpacingM {
+					t.Fatalf("%s: shape mismatch", road)
+				}
+				for c := range want.GradeRad {
+					if math.Float64bits(got.GradeRad[c]) != math.Float64bits(want.GradeRad[c]) {
+						t.Fatalf("%s cell %d: grade bits differ: %v vs %v", road, c, got.GradeRad[c], want.GradeRad[c])
+					}
+					if math.Float64bits(got.Var[c]) != math.Float64bits(want.Var[c]) {
+						t.Fatalf("%s cell %d: var bits differ", road, c)
+					}
+				}
+			}
+			// Device trust state must agree between the two paths too.
+			for _, road := range roads {
+				for d := 0; d < 2; d++ {
+					id := fmt.Sprintf("dev-%s-%d", road, d)
+					a, okA := srv.DeviceState(id)
+					b, okB := direct.DeviceState(id)
+					if okA != okB {
+						t.Fatalf("device %s known on one path only", id)
+					}
+					if !okA {
+						continue
+					}
+					if math.Float64bits(a.Reputation) != math.Float64bits(b.Reputation) ||
+						math.Float64bits(a.BiasRad) != math.Float64bits(b.BiasRad) ||
+						a.Submissions != b.Submissions {
+						t.Fatalf("device %s state diverged: %+v vs %+v", id, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoalesceStats covers the /healthz data source: disabled servers report
+// zeros, enabled ones report queue depth and the shed counter.
+func TestCoalesceStats(t *testing.T) {
+	plain := NewServerWithShards(2)
+	if enabled, queued, shed := plain.CoalesceStats(); enabled || queued != 0 || shed != 0 {
+		t.Errorf("plain server stats = %v %d %d, want false 0 0", enabled, queued, shed)
+	}
+
+	srv, ts := newCoalescedServer(t, CoalesceConfig{QueueDepth: 1, BatchMax: 1}, 0)
+	if enabled, _, _ := srv.CoalesceStats(); !enabled {
+		t.Error("coalescing server reports disabled")
+	}
+	// Overrun the 1-deep queues so at least one item sheds, then check the
+	// counter moved. One attempt, no retries: shed outcomes are expected.
+	cli, err := NewClient(ts.URL, ts.Client(), WithRetry(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	items := make([]BatchItem, 64)
+	for i := range items {
+		items[i] = BatchItem{RoadID: "one-road", Key: fmt.Sprintf("k%d", i), Profile: realisticProfile(rng, 200)}
+	}
+	sawShed := false
+	for try := 0; try < 10 && !sawShed; try++ {
+		res, err := cli.SubmitBatch(context.Background(), items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res {
+			if res[i].Status == statusShed {
+				sawShed = true
+			}
+			items[i].Key = fmt.Sprintf("k%d-%d", i, try) // fresh keys per round
+		}
+	}
+	if !sawShed {
+		t.Skip("could not provoke shedding on this machine")
+	}
+	if _, _, shed := srv.CoalesceStats(); shed == 0 {
+		t.Error("shed counter did not move")
+	}
+}

@@ -23,6 +23,7 @@ var (
 		routeFused:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeFused)),
 		routeList:   obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeList)),
 		routeRoute:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeRoute)),
+		routeDevice: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeDevice)),
 	}
 	obsSrvDupHits = obs.Default.Counter("cloud_idempotency_dup_total")
 )
@@ -34,6 +35,7 @@ const (
 	routeFused  = "fused"
 	routeList   = "list"
 	routeRoute  = "route"
+	routeDevice = "device"
 )
 
 // requestIDKey carries the request id through the context.

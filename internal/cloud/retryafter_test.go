@@ -1,0 +1,39 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers RFC 9110 §10.2.3: delta-seconds and all three
+// HTTP-date forms (IMF-fixdate, obsolete RFC 850, ANSI C asctime), plus the
+// degenerate values that must fall back to "no hint".
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta one", "1", time.Second},
+		{"delta zero", "0", 0},
+		{"delta negative", "-3", 0},
+		{"imf fixdate future", "Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second},
+		{"imf fixdate past", "Sat, 08 Aug 2026 11:59:00 GMT", 0},
+		{"imf fixdate far future", "Sat, 08 Aug 2026 13:00:00 GMT", time.Hour},
+		{"rfc850 date", "Saturday, 08-Aug-26 12:01:00 GMT", time.Minute},
+		{"asctime date", "Sat Aug  8 12:00:10 2026", 10 * time.Second},
+		{"garbage", "soon", 0},
+		{"float seconds", "1.5", 0},
+		{"trailing junk", "7 seconds", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.v, now); got != tc.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}

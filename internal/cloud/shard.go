@@ -60,7 +60,7 @@ type shard struct {
 // road are a lock, a counter compare, and a buffer write.
 type roadState struct {
 	mu  sync.RWMutex
-	acc *fusion.Accumulator
+	acc *fusion.RobustAccumulator
 	gen uint64 // bumped on every accepted submission
 
 	snapGen uint64
@@ -74,14 +74,28 @@ type roadState struct {
 }
 
 // addLocked validates spacing and folds one submission into the road's
-// accumulator. rs.mu must be held for writing; the caller bumps generations
-// and the server-wide counter (the direct path bumps per call, the coalescer
+// accumulator, consulting and updating the submitting device's trust state
+// when one is attached (de may be nil: anonymous submission). rs.mu must be
+// held for writing; the device entry's own lock is taken here — the lock
+// order is road lock → device lock, and device code never takes a road lock,
+// so the hierarchy is acyclic. The caller bumps generations and the
+// server-wide counter (the direct path bumps per call, the coalescer
 // amortizes across a fold batch).
-func (rs *roadState) addLocked(p *fusion.Profile) error {
+func (rs *roadState) addLocked(p *fusion.Profile, de *deviceEntry) error {
 	if rs.acc.Len() > 0 && rs.acc.Spacing() != p.SpacingM {
 		return fmt.Errorf("cloud: expects spacing %v, got %v", rs.acc.Spacing(), p.SpacingM)
 	}
-	return rs.acc.Add(p)
+	if de == nil {
+		return rs.acc.Add(p)
+	}
+	de.mu.Lock()
+	err := rs.acc.AddDevice(p, &de.st)
+	rep := de.st.Reputation
+	de.mu.Unlock()
+	if err == nil {
+		obsDeviceReputation.Observe(rep)
+	}
+	return err
 }
 
 // fusedLocked returns the current fused snapshot, rebuilding from the
@@ -193,7 +207,7 @@ func (s *Server) roadFor(roadID string) *roadState {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if rs = sh.roads[roadID]; rs == nil {
-		rs = &roadState{acc: fusion.NewAccumulator(s.MaxSubmissionsPerRoad)}
+		rs = &roadState{acc: fusion.NewRobustAccumulator(s.MaxSubmissionsPerRoad, s.Policy)}
 		sh.roads[roadID] = rs
 		obsShardLoad.Inc()
 	}

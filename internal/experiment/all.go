@@ -37,6 +37,7 @@ func Registry() map[string]Runner {
 		"ablation":     Ablation,
 		"robustness":   Robustness,
 		"robustsweep":  RobustnessSweep,
+		"poisonsweep":  PoisonSweep,
 		"speedsweep":   SpeedSweep,
 		"journey":      Journey,
 		"routing":      Routing,

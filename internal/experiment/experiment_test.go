@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"lanechange", "headline", "uplift",
 		// Extension studies.
 		"misalignment", "multivehicle", "ablation", "robustness", "robustsweep",
-		"speedsweep",
+		"poisonsweep", "speedsweep",
 		"journey", "routing", "ecoroutes",
 	}
 	reg := Registry()

@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"roadgrade/internal/fusion"
+)
+
+// Adversary corrupts a fused-ready grade profile the way a malicious or
+// defective *submitter* would — after sensing and local estimation, right
+// before upload. This complements the Fault interface above, which corrupts
+// raw sensor traces: Faults model broken phones, Adversaries model bad
+// actors (or systematically miscalibrated devices) attacking the cloud
+// fusion layer.
+//
+// Corrupt mutates p in place. round is the submission round for the device
+// (0-based), letting time-varying adversaries drift; all randomness must come
+// from rng so sweeps stay reproducible.
+type Adversary interface {
+	Name() string
+	Corrupt(p *fusion.Profile, round int, rng *rand.Rand)
+}
+
+// ConstantBias adds a fixed offset to every cell — a tilted phone mount or a
+// deliberate nudge. The easiest class to defeat: the per-device bias
+// estimator can learn and subtract it.
+type ConstantBias struct {
+	// BiasRad is the added grade offset (default 0.05 rad ≈ 2.9°).
+	BiasRad float64
+}
+
+// Name implements Adversary.
+func (a *ConstantBias) Name() string { return "const-bias" }
+
+// Corrupt implements Adversary.
+func (a *ConstantBias) Corrupt(p *fusion.Profile, round int, rng *rand.Rand) {
+	b := defaultF(a.BiasRad, 0.05)
+	for c := range p.GradeRad {
+		p.GradeRad[c] += b
+	}
+}
+
+// DriftingBias grows its offset each round — a degrading mount, or an
+// attacker probing how far it can push before the trust layer reacts. Harder
+// than ConstantBias because the bias estimator chases a moving target.
+type DriftingBias struct {
+	// PerRoundRad is the bias increment per round (default 0.01 rad).
+	PerRoundRad float64
+	// MaxRad caps the drift (default 0.08 rad).
+	MaxRad float64
+}
+
+// Name implements Adversary.
+func (a *DriftingBias) Name() string { return "drift-bias" }
+
+// Corrupt implements Adversary.
+func (a *DriftingBias) Corrupt(p *fusion.Profile, round int, rng *rand.Rand) {
+	step := defaultF(a.PerRoundRad, 0.01)
+	b := clampF(float64(round+1)*step, 0, defaultF(a.MaxRad, 0.08))
+	for c := range p.GradeRad {
+		p.GradeRad[c] += b
+	}
+}
+
+// Collusion replaces the whole profile with an agreed-upon fake — every
+// colluding device reports the same flat gradient, so colluders corroborate
+// each other. This is the strongest class: once colluders outnumber honest
+// reporters in a cell's window, they *are* the consensus and no per-cell
+// robust estimator can recover (the documented breakdown point).
+type Collusion struct {
+	// TargetGradeRad is the fabricated gradient (default 0.04 rad).
+	TargetGradeRad float64
+	// JitterRad is tiny per-cell noise so colluders don't submit literally
+	// identical bytes (default 1e-4 rad) — evading trivial duplicate checks.
+	JitterRad float64
+}
+
+// Name implements Adversary.
+func (a *Collusion) Name() string { return "collude" }
+
+// Corrupt implements Adversary.
+func (a *Collusion) Corrupt(p *fusion.Profile, round int, rng *rand.Rand) {
+	target := a.TargetGradeRad
+	if target == 0 {
+		target = 0.04
+	}
+	jit := defaultF(a.JitterRad, 1e-4)
+	for c := range p.GradeRad {
+		p.GradeRad[c] = target + jit*rng.NormFloat64()
+	}
+}
+
+// Overconfident keeps honest-looking grades but reports a variance far below
+// the truth while actually being *noisier* — the classic way to dominate
+// inverse-variance fusion without lying about the mean. Naive fusion hands
+// such a device almost all the weight.
+type Overconfident struct {
+	// VarScale shrinks the reported variance (default 1e-3).
+	VarScale float64
+	// ExtraNoiseRad is added real noise per cell (default 0.01 rad).
+	ExtraNoiseRad float64
+}
+
+// Name implements Adversary.
+func (a *Overconfident) Name() string { return "overconfident" }
+
+// Corrupt implements Adversary.
+func (a *Overconfident) Corrupt(p *fusion.Profile, round int, rng *rand.Rand) {
+	scale := defaultF(a.VarScale, 1e-3)
+	noise := defaultF(a.ExtraNoiseRad, 0.01)
+	for c := range p.GradeRad {
+		p.GradeRad[c] += noise * rng.NormFloat64()
+		p.Var[c] *= scale
+	}
+}
+
+// AdversaryClasses returns one default-configured adversary per class, the
+// sweep set the poisonsweep experiment charts.
+func AdversaryClasses() []Adversary {
+	return []Adversary{
+		&ConstantBias{},
+		&DriftingBias{},
+		&Collusion{},
+		&Overconfident{},
+	}
+}
+
+// AdversaryByName finds a default-configured adversary class.
+func AdversaryByName(name string) (Adversary, error) {
+	for _, a := range AdversaryClasses() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("faultinject: unknown adversary %q", name)
+}

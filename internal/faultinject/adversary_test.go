@@ -1,0 +1,113 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"roadgrade/internal/fusion"
+)
+
+func advProfile(cells int) *fusion.Profile {
+	p := &fusion.Profile{SpacingM: 5, GradeRad: make([]float64, cells), Var: make([]float64, cells)}
+	for c := range p.GradeRad {
+		p.GradeRad[c] = 0.03 * math.Sin(float64(c)/10)
+		p.Var[c] = 1e-5
+	}
+	return p
+}
+
+func TestAdversaryRegistry(t *testing.T) {
+	classes := AdversaryClasses()
+	if len(classes) != 4 {
+		t.Fatalf("%d adversary classes, want 4", len(classes))
+	}
+	seen := map[string]bool{}
+	for _, a := range classes {
+		if seen[a.Name()] {
+			t.Errorf("duplicate adversary name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		got, err := AdversaryByName(a.Name())
+		if err != nil {
+			t.Errorf("AdversaryByName(%q): %v", a.Name(), err)
+		} else if got.Name() != a.Name() {
+			t.Errorf("AdversaryByName(%q) resolved %q", a.Name(), got.Name())
+		}
+	}
+	if _, err := AdversaryByName("nope"); err == nil {
+		t.Error("unknown adversary should error")
+	}
+}
+
+func TestAdversaryDeterministic(t *testing.T) {
+	for _, a := range AdversaryClasses() {
+		p1, p2 := advProfile(50), advProfile(50)
+		a.Corrupt(p1, 3, rand.New(rand.NewSource(11)))
+		a.Corrupt(p2, 3, rand.New(rand.NewSource(11)))
+		for c := range p1.GradeRad {
+			if math.Float64bits(p1.GradeRad[c]) != math.Float64bits(p2.GradeRad[c]) ||
+				math.Float64bits(p1.Var[c]) != math.Float64bits(p2.Var[c]) {
+				t.Fatalf("%s: not deterministic at cell %d", a.Name(), c)
+			}
+		}
+	}
+}
+
+func TestConstantBiasShifts(t *testing.T) {
+	clean, p := advProfile(40), advProfile(40)
+	(&ConstantBias{BiasRad: 0.05}).Corrupt(p, 0, rand.New(rand.NewSource(1)))
+	for c := range p.GradeRad {
+		if d := p.GradeRad[c] - clean.GradeRad[c]; math.Abs(d-0.05) > 1e-12 {
+			t.Fatalf("cell %d shifted by %v, want 0.05", c, d)
+		}
+	}
+}
+
+func TestDriftingBiasGrowsAndCaps(t *testing.T) {
+	a := &DriftingBias{PerRoundRad: 0.01, MaxRad: 0.08}
+	rng := rand.New(rand.NewSource(2))
+	var prev float64
+	for round := 0; round < 12; round++ {
+		clean, p := advProfile(10), advProfile(10)
+		a.Corrupt(p, round, rng)
+		b := p.GradeRad[0] - clean.GradeRad[0]
+		if b < prev-1e-12 {
+			t.Fatalf("round %d: bias shrank %v -> %v", round, prev, b)
+		}
+		if b > 0.08+1e-12 {
+			t.Fatalf("round %d: bias %v exceeds cap", round, b)
+		}
+		prev = b
+	}
+	if math.Abs(prev-0.08) > 1e-12 {
+		t.Errorf("final bias %v, want capped at 0.08", prev)
+	}
+}
+
+func TestCollusionOverwrites(t *testing.T) {
+	p := advProfile(60)
+	(&Collusion{TargetGradeRad: 0.04}).Corrupt(p, 0, rand.New(rand.NewSource(3)))
+	for c := range p.GradeRad {
+		if math.Abs(p.GradeRad[c]-0.04) > 0.002 {
+			t.Fatalf("cell %d = %v, want ~0.04 (true shape must be erased)", c, p.GradeRad[c])
+		}
+	}
+}
+
+func TestOverconfidentShrinksVariance(t *testing.T) {
+	clean, p := advProfile(60), advProfile(60)
+	(&Overconfident{}).Corrupt(p, 0, rand.New(rand.NewSource(4)))
+	var noisy bool
+	for c := range p.Var {
+		if p.Var[c] >= clean.Var[c] {
+			t.Fatalf("cell %d: variance not shrunk (%v >= %v)", c, p.Var[c], clean.Var[c])
+		}
+		if p.GradeRad[c] != clean.GradeRad[c] {
+			noisy = true
+		}
+	}
+	if !noisy {
+		t.Error("overconfident adversary added no real noise")
+	}
+}

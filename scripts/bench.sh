@@ -9,10 +9,14 @@
 #   - the eco-routing benchmarks — warm/cold query latency, invalidation
 #     cost, and the warm /v1/route serving path (PR 5 baseline), and
 #   - the ingest benchmarks — per-submission cost of single-JSON vs batched
-#     JSON/binary submits, plus wire-batch decode (PR 6 baseline).
+#     JSON/binary submits, plus wire-batch decode (PR 6 baseline), and
+#   - the fusion accumulator benchmarks — plain Accumulator.Add vs the
+#     robust policies (naive/huber/trimmed) on the same workload
+#     (PR 7 baseline).
 #
-# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json]
-#   (defaults BENCH_PR1.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json)
+# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json]
+#   (defaults BENCH_PR1.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json,
+#   BENCH_PR7.json)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,6 +24,7 @@ out1="${1:-BENCH_PR1.json}"
 out4="${2:-BENCH_PR4.json}"
 out5="${3:-BENCH_PR5.json}"
 out6="${4:-BENCH_PR6.json}"
+out7="${5:-BENCH_PR7.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -68,3 +73,8 @@ go test -run '^$' -bench 'BenchmarkIngest' -benchmem ./internal/cloud >"$tmp"
 emit_json "$tmp" >"$out6"
 echo "wrote $out6:"
 cat "$out6"
+
+go test -run '^$' -bench 'BenchmarkFusionAccAdd' -benchmem ./internal/fusion >"$tmp"
+emit_json "$tmp" >"$out7"
+echo "wrote $out7:"
+cat "$out7"

@@ -6,7 +6,7 @@
 # if any benchmark regresses more than its tolerance vs the committed
 # baselines.
 #
-# Usage: scripts/bench_check.sh [pr1.json] [pr4.json] [pr5.json]
+# Usage: scripts/bench_check.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json]
 #   BENCH_TOLERANCE_PCT           allowed ns/op regression for the PR 1
 #                                 family (default 10)
 #   BENCH_SERVING_TOLERANCE_PCT   allowed ns/op regression for the serving
@@ -21,6 +21,11 @@
 #                                 family (PR 6: batched submits, wire
 #                                 decode); end-to-end HTTP benches are
 #                                 noisy, so the default is looser (30)
+#   BENCH_FUSION_TOLERANCE_PCT    allowed ns/op regression for the fusion
+#                                 accumulator family (PR 7: plain vs robust
+#                                 Add); the loops churn a fresh window slice
+#                                 per op and are cache-sensitive, so the
+#                                 default is looser (30)
 #   BENCH_COUNT                   runs per benchmark; the best run is
 #                                 compared, which filters scheduler noise
 #                                 (default 3)
@@ -31,13 +36,15 @@ baseline1="${1:-BENCH_PR1.json}"
 baseline4="${2:-BENCH_PR4.json}"
 baseline5="${3:-BENCH_PR5.json}"
 baseline6="${4:-BENCH_PR6.json}"
+baseline7="${5:-BENCH_PR7.json}"
 tol1="${BENCH_TOLERANCE_PCT:-10}"
 tol4="${BENCH_SERVING_TOLERANCE_PCT:-30}"
 tol5="${BENCH_ECOROUTE_TOLERANCE_PCT:-30}"
 tol6="${BENCH_INGEST_TOLERANCE_PCT:-30}"
+tol7="${BENCH_FUSION_TOLERANCE_PCT:-30}"
 count="${BENCH_COUNT:-3}"
 
-for b in "$baseline1" "$baseline4" "$baseline5" "$baseline6"; do
+for b in "$baseline1" "$baseline4" "$baseline5" "$baseline6" "$baseline7"; do
     if [ ! -f "$b" ]; then
         echo "bench_check: baseline $b not found" >&2
         exit 1
@@ -115,3 +122,6 @@ compare "$tmp" "$baseline5" "$tol5"
 
 go test -run '^$' -bench 'BenchmarkIngest' -benchmem -count="$count" ./internal/cloud >"$tmp"
 compare "$tmp" "$baseline6" "$tol6"
+
+go test -run '^$' -bench 'BenchmarkFusionAccAdd' -benchmem -count="$count" ./internal/fusion >"$tmp"
+compare "$tmp" "$baseline7" "$tol7"

@@ -31,6 +31,13 @@ echo "== go test -race (write coalescer gate) =="
 # in the shutdown or idempotency interleavings fails with a focused report.
 go test -race -count=2 -run 'TestCoalescer|TestKeyRingConcurrent|TestBatched' ./internal/cloud
 
+echo "== go test -race (robust fusion / device trust gate) =="
+# The trust-weighted fusion path threads per-device state (reputation, bias)
+# through the submit door, the batch codec, and the coalescer fold under a
+# road-lock -> device-lock hierarchy; run the robust/device tests uncached so
+# a determinism or locking regression fails with a focused report.
+go test -race -count=1 -run 'TestRobust|TestDevice' ./internal/fusion ./internal/cloud
+
 echo "== go test -race =="
 go test -race ./...
 
