@@ -17,15 +17,27 @@
 //	GET  /v1/devices/{id}          per-device trust state (reputation, learned
 //	                               bias) under a robust -fusion-policy
 //	GET  /v1/route                 eco-routing over the fused map (needs -route-km)
+//	GET  /v1/debug/traces          tail-sampled trace directory; ?id= renders
+//	                               one trace as Chrome trace_event JSON
+//	                               (needs -trace-sample > 0)
 //
 // Observability (on -debug-addr, kept off the public listener; empty
 // disables):
 //
 //	GET /metrics        Prometheus text exposition (pipeline, fusion,
-//	                    kalman, cloud, and runtime metrics)
-//	GET /healthz        liveness probe with road/submission counts and
-//	                    coalescer queue depth / shed totals
+//	                    kalman, cloud, and runtime metrics) with trace
+//	                    exemplars on the latency histograms
+//	GET /healthz        liveness probe with build info, road/submission/
+//	                    device counts, fleet reputation quantiles, coalescer
+//	                    queue depth / shed totals, and — when -slo is set —
+//	                    the burn-rate report (overall status degrades on a
+//	                    fast burn)
 //	GET /debug/pprof/   net/http/pprof profiles
+//
+// Distributed tracing is enabled with -trace-sample (W3C traceparent in,
+// head-sampled roots otherwise); the tail-sampling store behind
+// /v1/debug/traces always keeps errors, sheds, quarantines, and p99-slow
+// traces and holds -trace-buffer of them.
 //
 // Requests are logged one structured line each (-log-format text|json) with
 // method, route, status, bytes, duration, and the propagated X-Request-Id.
@@ -44,6 +56,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -73,6 +87,22 @@ func newLogger(format string) (*slog.Logger, error) {
 	}
 }
 
+// buildInfo reports what binary is answering the probe: the Go runtime and,
+// when the binary was built inside a git checkout, the VCS revision stamp.
+func buildInfo() map[string]any {
+	out := map[string]any{"go_version": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["module"] = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				out[s.Key] = s.Value
+			}
+		}
+	}
+	return out
+}
+
 // debugHandler builds the operational endpoint mux: metrics, health, pprof.
 func debugHandler(srv *cloud.Server, start time.Time) http.Handler {
 	mux := http.NewServeMux()
@@ -84,18 +114,38 @@ func debugHandler(srv *cloud.Server, start time.Time) http.Handler {
 			submissions += rs.Submissions
 		}
 		enabled, queued, shed := srv.CoalesceStats()
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"status":         "ok",
+		p10, p50, p90 := srv.ReputationQuantiles()
+		// Without an SLO engine the probe is pure liveness ("ok"); with one,
+		// its status is the worst objective's burn-rate verdict, so a
+		// fast-burning error budget flips the probe before the budget is gone.
+		status := "ok"
+		body := map[string]any{
 			"uptime_seconds": time.Since(start).Seconds(),
+			"build":          buildInfo(),
 			"roads":          len(roads),
 			"submissions":    submissions,
+			"devices": map[string]any{
+				"count":          srv.Devices(),
+				"reputation_p10": p10,
+				"reputation_p50": p50,
+				"reputation_p90": p90,
+			},
 			"coalescer": map[string]any{
 				"enabled":     enabled,
 				"queue_depth": queued,
 				"shed_total":  shed,
 			},
-		})
+		}
+		if rep, ok := srv.SLOReport(); ok {
+			status = rep.Status
+			body["slo"] = rep
+		}
+		if st := srv.TraceStore(); st != nil {
+			body["traces"] = map[string]any{"kept": st.Len()}
+		}
+		body["status"] = status
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(body)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -117,6 +167,9 @@ func run() error {
 	queueDepth := flag.Int("queue-depth", 1024, "coalescer queue depth per shard (backpressure threshold)")
 	batchMax := flag.Int("batch-max", 256, "max submissions folded per shard-lock acquisition")
 	policyName := flag.String("fusion-policy", "naive", "per-road fusion policy: naive | huber | trimmed (robust policies weight submissions by device trust)")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling probability in [0,1] for distributed tracing (0 disables; inbound traceparent headers are always honored)")
+	traceBuffer := flag.Int("trace-buffer", 256, "tail-sampled trace store capacity for GET /v1/debug/traces")
+	sloSpec := flag.String("slo", "", `SLO objectives: "default", or comma-separated name:route:avail:<target> | name:route:latency:<target>:<threshold_s> (empty disables)`)
 	flag.Parse()
 
 	policy, err := fusion.ParsePolicy(*policyName)
@@ -161,6 +214,21 @@ func run() error {
 		}
 		fusionSrv.EnableRouting(eng)
 		logger.Info("routing enabled", "street_km", net.TotalLengthM()/1000, "nodes", len(net.Nodes), "edges", len(net.Edges))
+	}
+	if *traceSample > 0 {
+		fusionSrv.EnableTracing(obs.StoreConfig{Capacity: *traceBuffer})
+		obs.DefaultTracer.SetSampleRate(*traceSample)
+		logger.Info("tracing enabled", "sample_rate", *traceSample, "trace_buffer", *traceBuffer)
+	}
+	if *sloSpec != "" {
+		objectives, err := cloud.ParseObjectives(*sloSpec)
+		if err != nil {
+			return err
+		}
+		if err := fusionSrv.EnableSLO(objectives); err != nil {
+			return err
+		}
+		logger.Info("slo engine enabled", "objectives", len(objectives))
 	}
 	obs.RegisterRuntimeGauges(obs.Default)
 

@@ -11,12 +11,17 @@ import (
 	"roadgrade/internal/fusion"
 )
 
-// TestHealthzShape pins the /healthz contract: status, uptime, road and
-// submission counts, and the coalescer block (enabled, queue_depth,
-// shed_total) that load-balancer probes and dashboards read.
+// TestHealthzShape pins the /healthz contract: status, uptime, build info,
+// road/submission/device counts with reputation quantiles, the coalescer
+// block (enabled, queue_depth, shed_total), and — when the SLO engine is
+// installed — the burn-rate report that load-balancer probes and dashboards
+// read.
 func TestHealthzShape(t *testing.T) {
 	srv := cloud.NewServerWithShards(2)
 	srv.EnableCoalescing(cloud.CoalesceConfig{})
+	if err := srv.EnableSLO(cloud.DefaultObjectives()); err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 
 	rng := rand.New(rand.NewSource(1))
@@ -50,11 +55,27 @@ func TestHealthzShape(t *testing.T) {
 		UptimeSeconds float64 `json:"uptime_seconds"`
 		Roads         int     `json:"roads"`
 		Submissions   int     `json:"submissions"`
-		Coalescer     *struct {
+		Build         *struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+		Devices *struct {
+			Count int     `json:"count"`
+			P10   float64 `json:"reputation_p10"`
+			P50   float64 `json:"reputation_p50"`
+			P90   float64 `json:"reputation_p90"`
+		} `json:"devices"`
+		Coalescer *struct {
 			Enabled    bool   `json:"enabled"`
 			QueueDepth int    `json:"queue_depth"`
 			ShedTotal  uint64 `json:"shed_total"`
 		} `json:"coalescer"`
+		SLO *struct {
+			Status     string `json:"status"`
+			Objectives []struct {
+				Name            string  `json:"name"`
+				BudgetRemaining float64 `json:"budget_remaining"`
+			} `json:"objectives"`
+		} `json:"slo"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
@@ -68,6 +89,16 @@ func TestHealthzShape(t *testing.T) {
 	if body.Roads != 1 || body.Submissions != 3 {
 		t.Errorf("roads/submissions = %d/%d, want 1/3", body.Roads, body.Submissions)
 	}
+	if body.Build == nil || body.Build.GoVersion == "" {
+		t.Errorf("build block = %+v, want go_version", body.Build)
+	}
+	if body.Devices == nil {
+		t.Fatal("devices block missing")
+	}
+	// Direct Submit carries no device id: empty fleet reads fully trusted.
+	if body.Devices.Count != 0 || body.Devices.P10 != 1 || body.Devices.P50 != 1 || body.Devices.P90 != 1 {
+		t.Errorf("devices = %+v, want empty fully-trusted fleet", body.Devices)
+	}
 	if body.Coalescer == nil {
 		t.Fatal("coalescer block missing")
 	}
@@ -77,8 +108,20 @@ func TestHealthzShape(t *testing.T) {
 	if body.Coalescer.QueueDepth < 0 {
 		t.Errorf("queue_depth = %d", body.Coalescer.QueueDepth)
 	}
+	if body.SLO == nil {
+		t.Fatal("slo block missing on an SLO-enabled server")
+	}
+	if body.SLO.Status != "ok" || len(body.SLO.Objectives) != 2 {
+		t.Errorf("slo = %+v, want ok with 2 objectives", body.SLO)
+	}
+	for _, o := range body.SLO.Objectives {
+		if o.BudgetRemaining != 1 {
+			t.Errorf("objective %s budget_remaining = %v, want untouched 1", o.Name, o.BudgetRemaining)
+		}
+	}
 
-	// A plain (non-coalescing) server still reports the block, disabled.
+	// A plain server (no coalescer, no SLO engine) still reports the
+	// coalescer block, disabled, and omits the SLO block entirely.
 	plain := cloud.NewServer()
 	ts2 := httptest.NewServer(debugHandler(plain, time.Now()))
 	defer ts2.Close()
@@ -87,11 +130,15 @@ func TestHealthzShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
+	body.SLO = nil
 	if err := json.NewDecoder(resp2.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
 	if body.Coalescer == nil || body.Coalescer.Enabled {
 		t.Errorf("plain server coalescer block = %+v, want present and disabled", body.Coalescer)
+	}
+	if body.SLO != nil {
+		t.Errorf("plain server slo block = %+v, want absent", body.SLO)
 	}
 }
 

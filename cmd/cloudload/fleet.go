@@ -168,6 +168,7 @@ type fleetReport struct {
 	Wall      time.Duration
 	Sustained float64 // accepted submissions per second
 	BatchRTT  opStats // per-request SubmitBatch latency
+	Obs       *obsSummary
 
 	registry *obs.Registry
 }
@@ -206,7 +207,7 @@ func (r *fleetReport) String() string {
 		r.Submissions, r.Accepted, r.Duplicate, r.Rejected, r.Shed, r.Errors,
 		r.Wall.Round(time.Millisecond), r.Sustained,
 		r.BatchRTT.P50*1e3, r.BatchRTT.P95*1e3, r.BatchRTT.P99*1e3, r.BatchRTT.Count,
-		classes.String())
+		classes.String()) + r.Obs.String()
 }
 
 // validateFleet fills fleet defaults and rejects nonsense. The shared knobs
@@ -241,7 +242,7 @@ func (cfg *config) validateFleet() ([]vehicleClass, error) {
 	if cfg.retries < 1 {
 		cfg.retries = 1
 	}
-	return mix, nil
+	return mix, cfg.validateObs()
 }
 
 // runFleet executes one fleet simulation and returns the report.
@@ -267,12 +268,12 @@ func runFleet(cfg config) (*fleetReport, error) {
 	}
 
 	base := cfg.addr
+	var srv *cloud.Server
 	if base == "" {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, fmt.Errorf("listening: %w", err)
 		}
-		var srv *cloud.Server
 		if cfg.shards > 0 {
 			srv = cloud.NewServerWithShards(cfg.shards)
 		} else {
@@ -283,6 +284,11 @@ func runFleet(cfg config) (*fleetReport, error) {
 			QueueDepth: cfg.queueDepth,
 			BatchMax:   cfg.batchMax,
 		})
+		cleanup, err := enableObs(cfg, srv)
+		defer cleanup()
+		if err != nil {
+			return nil, err
+		}
 		defer srv.Close()
 		hs := &http.Server{Handler: srv.Handler()}
 		go func() { _ = hs.Serve(ln) }()
@@ -409,6 +415,7 @@ func runFleet(cfg config) (*fleetReport, error) {
 			P95:   batchHist.Quantile(0.95),
 			P99:   batchHist.Quantile(0.99),
 		},
+		Obs:      collectObs(srv),
 		registry: reg,
 	}
 	if rep.Rejected > 0 {

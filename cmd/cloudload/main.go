@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -97,6 +98,10 @@ type config struct {
 	badFrac    float64       // fraction of devices running the adversary
 	badClass   string        // adversary class name (internal/faultinject)
 	policy     string        // in-process server fusion policy (naive/huber/trimmed)
+
+	// Observability of the run itself (in-process server only).
+	traceSample float64 // head-sample rate; > 0 enables tracing + keep-count summary
+	slo         string  // SLO objective spec (see cloudfuse -slo); "" disables
 }
 
 func parseFlags(args []string) (config, bool, error) {
@@ -128,6 +133,8 @@ func parseFlags(args []string) (config, bool, error) {
 	fs.Float64Var(&cfg.badFrac, "bad-frac", 0, "fleet: fraction of devices running the -bad-class adversary")
 	fs.StringVar(&cfg.badClass, "bad-class", "const-bias", "fleet: adversary class (const-bias, drift-bias, collude, overconfident)")
 	fs.StringVar(&cfg.policy, "fusion-policy", "", "fleet: in-process server fusion policy (naive, huber, trimmed; empty = naive)")
+	fs.Float64Var(&cfg.traceSample, "trace-sample", 0, "in-process: trace the run at this head-sample rate and summarize kept traces (0 disables)")
+	fs.StringVar(&cfg.slo, "slo", "", `in-process: evaluate SLO objectives over the run ("default" or a spec; see cloudfuse -slo)`)
 	if err := fs.Parse(args); err != nil {
 		return cfg, false, err
 	}
@@ -183,6 +190,7 @@ type report struct {
 	Throughput float64 // ops/s
 	Fetch      opStats
 	Submit     opStats
+	Obs        *obsSummary
 
 	registry *obs.Registry
 }
@@ -205,7 +213,7 @@ func (r *report) String() string {
 			"  submit      %s\n",
 		mode, r.Config.clients, r.Config.roads, r.Config.prefill, r.Config.readFrac*100, r.Config.seed,
 		r.Ops, r.Errors, r.Wall.Round(time.Millisecond), r.Throughput,
-		f(r.Fetch), f(r.Submit))
+		f(r.Fetch), f(r.Submit)) + r.Obs.String()
 }
 
 // validate fills defaults and rejects nonsense.
@@ -225,7 +233,107 @@ func (cfg *config) validate() error {
 	if cfg.retries < 1 {
 		cfg.retries = 1
 	}
+	return cfg.validateObs()
+}
+
+// validateObs gates the run-observability knobs shared by both modes.
+func (cfg *config) validateObs() error {
+	if cfg.traceSample < 0 || cfg.traceSample > 1 {
+		return errors.New("-trace-sample must be in [0, 1]")
+	}
+	if cfg.addr != "" && (cfg.traceSample > 0 || cfg.slo != "") {
+		return errors.New("-trace-sample and -slo instrument the in-process server; not valid with -addr")
+	}
 	return nil
+}
+
+// enableObs turns on tracing and the SLO engine on the in-process server per
+// the config. The returned cleanup disables the shared process tracer so one
+// run does not leak sampling into the next (tests run several).
+func enableObs(cfg config, srv *cloud.Server) (func(), error) {
+	cleanup := func() {}
+	if cfg.traceSample > 0 {
+		srv.EnableTracing(obs.StoreConfig{})
+		obs.DefaultTracer.SetSampleRate(cfg.traceSample)
+		cleanup = func() {
+			obs.DefaultTracer.Disable()
+			obs.DefaultTracer.SetSampleRate(1)
+		}
+	}
+	if cfg.slo != "" {
+		objectives, err := cloud.ParseObjectives(cfg.slo)
+		if err != nil {
+			return cleanup, err
+		}
+		if err := srv.EnableSLO(objectives); err != nil {
+			return cleanup, err
+		}
+	}
+	return cleanup, nil
+}
+
+// obsSummary is the optional tracing/SLO tail of a run report.
+type obsSummary struct {
+	kept    int
+	reasons map[string]int
+	slo     *obs.SLOReport
+}
+
+// collectObs snapshots the server's trace store and SLO engine after a run.
+// Returns nil when neither was enabled (remote runs, default config).
+func collectObs(srv *cloud.Server) *obsSummary {
+	if srv == nil {
+		return nil
+	}
+	var o obsSummary
+	if st := srv.TraceStore(); st != nil {
+		o.reasons = map[string]int{}
+		for _, s := range st.Summaries() {
+			o.kept++
+			o.reasons[s.Reason]++
+		}
+	}
+	if rep, ok := srv.SLOReport(); ok {
+		o.slo = &rep
+	}
+	if o.reasons == nil && o.slo == nil {
+		return nil
+	}
+	return &o
+}
+
+func (o *obsSummary) String() string {
+	if o == nil {
+		return ""
+	}
+	var b strings.Builder
+	if o.reasons != nil {
+		fmt.Fprintf(&b, "  traces      %d kept", o.kept)
+		keys := make([]string, 0, len(o.reasons))
+		for k := range o.reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			sep := " ("
+			if i > 0 {
+				sep = ", "
+			}
+			fmt.Fprintf(&b, "%s%s %d", sep, k, o.reasons[k])
+		}
+		if len(keys) > 0 {
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+	}
+	if o.slo != nil {
+		fmt.Fprintf(&b, "  slo         %s", o.slo.Status)
+		for _, obj := range o.slo.Objectives {
+			fmt.Fprintf(&b, " · %s %s (budget %.2f)", obj.Name, obj.Status, obj.BudgetRemaining)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // makeProfile builds one deterministic submission payload.
@@ -253,6 +361,7 @@ func run(cfg config) (*report, error) {
 	}
 
 	base := cfg.addr
+	var srv *cloud.Server
 	if base == "" {
 		// In-process mode: a real loopback listener so the harness
 		// exercises the full HTTP serving path, not just the store.
@@ -260,15 +369,18 @@ func run(cfg config) (*report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("listening: %w", err)
 		}
-		shards := cfg.shards
-		var srv *cloud.Server
-		if shards > 0 {
-			srv = cloud.NewServerWithShards(shards)
+		if cfg.shards > 0 {
+			srv = cloud.NewServerWithShards(cfg.shards)
 		} else {
 			srv = cloud.NewServer()
 		}
 		if cfg.prefill > 0 {
 			srv.MaxSubmissionsPerRoad = cfg.prefill
+		}
+		cleanup, err := enableObs(cfg, srv)
+		defer cleanup()
+		if err != nil {
+			return nil, err
 		}
 		hs := &http.Server{Handler: srv.Handler()}
 		go func() { _ = hs.Serve(ln) }()
@@ -394,6 +506,7 @@ func run(cfg config) (*report, error) {
 		Throughput: float64(opCount.Load()) / wall.Seconds(),
 		Fetch:      stats(fetchHist),
 		Submit:     stats(submitHist),
+		Obs:        collectObs(srv),
 		registry:   reg,
 	}
 	if rep.Errors > rep.Ops/2 {

@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"roadgrade/internal/obs"
 )
 
 // batchRequestDTO is the JSON wire form of a batch.
@@ -127,6 +129,9 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]BatchItemResult, len(items))
 	shed := 0
 	if c := s.coal; c != nil {
+		// The handler span's context (set by instrument) crosses the queue
+		// boundary on each item; the fold span links back to it.
+		sc, _ := obs.SpanContextFrom(r.Context())
 		var done sync.WaitGroup
 		done.Add(len(items))
 		pend := make([]*pendingItem, len(items))
@@ -139,6 +144,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 				p:      items[i].Profile,
 				out:    &results[i],
 				done:   &done,
+				sc:     sc,
 			}
 			pend[i] = &backing[i]
 		}

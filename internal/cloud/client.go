@@ -53,6 +53,30 @@ type Client struct {
 	// sleep and jitter are injectable for tests.
 	sleep  func(time.Duration)
 	jitter func() float64
+
+	// tracer emits client spans; nil shares obs.DefaultTracer.
+	tracer *obs.Tracer
+}
+
+// tr returns the client's span tracer (the process default unless WithTracer
+// overrode it).
+func (c *Client) tr() *obs.Tracer {
+	if c.tracer != nil {
+		return c.tracer
+	}
+	return obs.DefaultTracer
+}
+
+// startRoot opens a client root span subject to the tracer's head-sampling
+// rate; a context already carrying a span always continues its trace. The
+// attempt spans and the traceparent header follow the root's decision, so an
+// unsampled operation costs one atomic load and sends no header.
+func (c *Client) startRoot(ctx context.Context, name string, args ...obs.Label) (context.Context, *obs.Span) {
+	tr := c.tr()
+	if _, ok := obs.SpanContextFrom(ctx); !ok && !tr.ShouldSample() {
+		return ctx, nil
+	}
+	return tr.StartCtx(ctx, name, "cloud", args...)
 }
 
 // Option customizes a Client.
@@ -91,6 +115,11 @@ func WithGzip(on bool) Option {
 // (ContentTypeBinary) instead of JSON.
 func WithBinaryBatch(on bool) Option {
 	return func(c *Client) { c.binaryBatch = on }
+}
+
+// WithTracer routes the client's spans to tr instead of obs.DefaultTracer.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *Client) { c.tracer = tr }
 }
 
 // NewClient returns a client for the service at base (e.g.
@@ -199,6 +228,13 @@ func (c *Client) backoffFor(retry int) time.Duration {
 // do runs one request with the retry policy. build must return a fresh
 // request each call (bodies are consumed by failed attempts). The returned
 // response body is the caller's to close.
+//
+// The first attempt propagates the caller's span context (the method root)
+// directly in the traceparent header — the common single-attempt request
+// costs exactly one client span. Retry attempts each get their own child
+// span, so when a request DID retry, the trace shows every attempt
+// separately rather than one blurred request; an attempt span in a trace is
+// itself the signal that the request was retried.
 func (c *Client) do(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
@@ -218,12 +254,31 @@ func (c *Client) do(ctx context.Context, build func(ctx context.Context) (*http.
 		if c.perTryTimeout > 0 {
 			tryCtx, cancel = context.WithTimeout(ctx, c.perTryTimeout)
 		}
+		var asp *obs.Span
+		if attempt > 0 {
+			if _, ok := obs.SpanContextFrom(tryCtx); ok || c.tr().ShouldSample() {
+				tryCtx, asp = c.tr().StartCtx(tryCtx, "client:attempt", "cloud",
+					obs.L("attempt", strconv.Itoa(attempt)))
+			}
+		}
 		req, err := build(tryCtx)
 		if err != nil {
+			asp.End()
 			cancel()
 			return nil, fmt.Errorf("cloud: building request: %w", err)
 		}
+		if sc, ok := obs.SpanContextFrom(tryCtx); ok {
+			req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+		}
 		resp, err := c.hc.Do(req)
+		if asp != nil {
+			if err != nil {
+				asp.Annotate("error", err.Error())
+			} else {
+				asp.Annotate("status", strconv.Itoa(resp.StatusCode))
+			}
+			asp.End()
+		}
 		if !retryable(resp, err) {
 			// Success or a non-retryable (4xx) response: hand it to the
 			// caller. The cancel must outlive the body read, so tie it to
@@ -314,6 +369,8 @@ func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Pro
 	if p == nil || p.Len() == 0 {
 		return errors.New("cloud: empty profile")
 	}
+	ctx, root := c.startRoot(ctx, "client:submit", obs.L("road", roadID))
+	defer root.End()
 	body, err := json.Marshal(FromProfile(p))
 	if err != nil {
 		return fmt.Errorf("cloud: encoding profile: %w", err)
@@ -349,6 +406,8 @@ func (c *Client) SubmitProfile(ctx context.Context, roadID string, p *fusion.Pro
 
 // FetchProfile downloads the fused profile for a road.
 func (c *Client) FetchProfile(ctx context.Context, roadID string) (*fusion.Profile, error) {
+	ctx, root := c.startRoot(ctx, "client:fetch", obs.L("road", roadID))
+	defer root.End()
 	url := fmt.Sprintf("%s/v1/roads/%s/profile", c.base, roadID)
 	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -459,6 +518,13 @@ func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchIte
 			items[i].Key = ProfileKey(items[i].RoadID, items[i].Profile)
 		}
 	}
+	// One root span covers the whole batched submission: the first send,
+	// every shed-subset retry, and (through the traceparent each attempt
+	// carries) the server's handler spans and the coalescer's fold span —
+	// one trace id, end to end.
+	ctx, root := c.startRoot(ctx, "client:submit_batch",
+		obs.L("items", strconv.Itoa(len(items))))
+	defer root.End()
 	results := make([]BatchItemResult, len(items))
 	// pending maps the current wire batch's positions onto results indices.
 	pending := make([]int, len(items))
@@ -467,8 +533,22 @@ func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchIte
 	}
 	batch := items
 	for attempt := 0; ; attempt++ {
-		res, retryAfter, err := c.submitBatchOnce(ctx, batch)
+		// The first send rides the root span; each shed-subset retry gets its
+		// own attempt span (mirroring do's per-attempt policy), so a trace
+		// containing client:attempt spans is precisely one that retried.
+		sendCtx := ctx
+		var asp *obs.Span
+		if attempt > 0 {
+			if _, ok := obs.SpanContextFrom(ctx); ok {
+				sendCtx, asp = c.tr().StartCtx(ctx, "client:attempt", "cloud",
+					obs.L("attempt", strconv.Itoa(attempt)),
+					obs.L("items", strconv.Itoa(len(batch))))
+			}
+		}
+		res, retryAfter, err := c.submitBatchOnce(sendCtx, batch)
+		asp.End()
 		if err != nil {
+			root.Annotate("error", err.Error())
 			return nil, err
 		}
 		if len(res) != len(batch) {
@@ -484,6 +564,7 @@ func (c *Client) SubmitBatch(ctx context.Context, items []BatchItem) ([]BatchIte
 		if len(shedIdx) == 0 || attempt+1 >= c.maxAttempts {
 			return results, nil
 		}
+		root.Annotate("shed_retry", strconv.Itoa(len(shedIdx)))
 		wait := c.backoffFor(attempt)
 		if retryAfter > wait {
 			wait = retryAfter

@@ -25,6 +25,7 @@ import (
 
 	"roadgrade/internal/ecoroute"
 	"roadgrade/internal/fusion"
+	"roadgrade/internal/obs"
 )
 
 // ProfileDTO is the wire form of a gradient profile.
@@ -142,6 +143,19 @@ type Server struct {
 	// request: method, route, status, bytes, duration, request id,
 	// idempotency-dup flag). Nil disables logging; metrics stay on.
 	Logger *slog.Logger
+
+	// Tracer, when set, overrides the process-wide obs.DefaultTracer for
+	// server/coalescer spans. Set before serving traffic; nil shares the
+	// default so one trace file captures the whole process.
+	Tracer *obs.Tracer
+
+	// traces, when set via EnableTracing, retains tail-sampled traces and
+	// serves GET /v1/debug/traces.
+	traces *obs.TraceStore
+
+	// slo, when set via EnableSLO, evaluates per-route burn rates from the
+	// middleware's request outcomes.
+	slo *obs.SLOEngine
 }
 
 // defaultShards balances lock granularity against footprint: 32 shards keep
@@ -215,7 +229,7 @@ func (s *Server) SubmitDevice(roadID, deviceID string, p *fusion.Profile) error 
 	rs := s.roadFor(roadID)
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	if err := rs.addLocked(p, de); err != nil {
+	if _, err := rs.addLocked(p, de); err != nil {
 		return fmt.Errorf("cloud: road %s: %w", roadID, err)
 	}
 	rs.gen++ // invalidates the fused snapshot and encoded caches
@@ -411,6 +425,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/roads", s.instrument(routeList, s.handleList))
 	mux.Handle("GET /v1/route", s.instrument(routeRoute, s.handleRoute))
 	mux.Handle("GET /v1/devices/{id}", s.instrument(routeDevice, s.handleDevice))
+	mux.Handle("GET /v1/debug/traces", s.instrument(routeTraces, s.handleTraces))
 	return RequestID(mux)
 }
 

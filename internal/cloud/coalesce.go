@@ -16,6 +16,7 @@ package cloud
 // just the shed items — per-item idempotency keys make over-retry harmless.
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +76,10 @@ type pendingItem struct {
 	p      *fusion.Profile
 	out    *BatchItemResult
 	done   *sync.WaitGroup
+	// sc is the enqueueing handler span's context; the fold span links back
+	// to it so a trace crosses the async queue boundary. Zero when the
+	// request was untraced.
+	sc obs.SpanContext
 }
 
 // CoalesceConfig shapes the write coalescer.
@@ -273,9 +278,42 @@ func (s *Server) collect(buf []*pendingItem, q chan *pendingItem) []*pendingItem
 //
 // The per-cell arithmetic is exactly Accumulator.Add in the same order the
 // direct path would have run, so the fused output is bit-identical.
+//
+// When any folded item carries a span context, the whole pass is wrapped in
+// a fold span — its own single-span trace, always kept by the tail sampler
+// (keep=fold) — that links back to each distinct request span it folded for,
+// annotated with the robust-fusion outcome (downweighted/trimmed/clamped
+// cells) so a trace shows what trust machinery did to a submission.
 func (s *Server) foldShard(sh *shard, items []*pendingItem) {
 	obsCoalesceFolds.Inc()
 	obsCoalesceBatch.Observe(float64(len(items)))
+
+	var fold *obs.Span
+	if tr := s.tracer(); tr.Enabled() {
+		var linked []obs.SpanContext
+		for _, it := range items {
+			if !it.sc.IsValid() {
+				continue
+			}
+			dup := false
+			for _, sc := range linked {
+				if sc == it.sc {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				linked = append(linked, it.sc)
+			}
+		}
+		if len(linked) > 0 {
+			fold = tr.Start("coalesce:fold", "cloud",
+				obs.L("keep", "fold"), obs.L("batch", strconv.Itoa(len(items))))
+			for _, sc := range linked {
+				fold.Link(sc)
+			}
+		}
+	}
 
 	sh.mu.Lock()
 	for _, it := range items {
@@ -300,6 +338,7 @@ func (s *Server) foldShard(sh *shard, items []*pendingItem) {
 	}
 
 	var accepted uint64
+	var robust fusion.FoldReport
 	var rejectedKeys []string
 	for _, road := range order {
 		group := groups[road]
@@ -310,7 +349,8 @@ func (s *Server) foldShard(sh *shard, items []*pendingItem) {
 			if it.device != "" {
 				de = s.deviceFor(it.device)
 			}
-			if err := rs.addLocked(it.p, de); err != nil {
+			rep, err := rs.addLocked(it.p, de)
+			if err != nil {
 				it.out.Status = statusRejected
 				it.out.Error = err.Error()
 				if it.key != "" {
@@ -318,6 +358,9 @@ func (s *Server) foldShard(sh *shard, items []*pendingItem) {
 				}
 				continue
 			}
+			robust.Downweighted += rep.Downweighted
+			robust.Trimmed += rep.Trimmed
+			robust.Clamped += rep.Clamped
 			it.out.Status = statusAccepted
 			rs.gen++
 			accepted++
@@ -334,15 +377,32 @@ func (s *Server) foldShard(sh *shard, items []*pendingItem) {
 	if accepted > 0 {
 		s.totalGen.Add(accepted)
 	}
+	var dups, rejected int
 	for _, it := range items {
 		switch it.out.Status {
 		case statusAccepted:
 			batchItemCounter(statusAccepted).Inc()
 		case statusDuplicate:
 			batchItemCounter(statusDuplicate).Inc()
+			dups++
 		case statusRejected:
 			batchItemCounter(statusRejected).Inc()
+			rejected++
 		}
+	}
+	// End the fold span before releasing the handlers: by the time a batch
+	// response reaches the client, the fold's link into that request trace is
+	// already in the trace store.
+	if fold != nil {
+		fold.Annotate("accepted", strconv.FormatUint(accepted, 10))
+		fold.Annotate("duplicate", strconv.Itoa(dups))
+		fold.Annotate("rejected", strconv.Itoa(rejected))
+		fold.Annotate("downweighted_cells", strconv.FormatUint(robust.Downweighted, 10))
+		fold.Annotate("trimmed_cells", strconv.FormatUint(robust.Trimmed, 10))
+		fold.Annotate("clamped_cells", strconv.FormatUint(robust.Clamped, 10))
+		fold.End()
+	}
+	for _, it := range items {
 		it.done.Done()
 	}
 }

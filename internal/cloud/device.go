@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 
 	"roadgrade/internal/fusion"
@@ -103,6 +104,32 @@ func (s *Server) DeviceState(id string) (fusion.DeviceState, bool) {
 	st := de.st
 	de.mu.Unlock()
 	return st, true
+}
+
+// ReputationQuantiles returns the p10/p50/p90 of the fleet's current device
+// reputations — the /healthz summary of how much of the fleet the robust
+// fusion trusts. An empty table reads as (1, 1, 1): unseen devices start
+// fully trusted.
+func (s *Server) ReputationQuantiles() (p10, p50, p90 float64) {
+	var reps []float64
+	for i := range s.devShards {
+		sh := &s.devShards[i]
+		sh.mu.RLock()
+		for _, de := range sh.devices {
+			de.mu.Lock()
+			reps = append(reps, de.st.Reputation)
+			de.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	if len(reps) == 0 {
+		return 1, 1, 1
+	}
+	sort.Float64s(reps)
+	q := func(f float64) float64 {
+		return reps[int(f*float64(len(reps)-1)+0.5)]
+	}
+	return q(0.10), q(0.50), q(0.90)
 }
 
 // Devices returns the number of known devices.

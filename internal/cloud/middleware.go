@@ -24,6 +24,7 @@ var (
 		routeList:   obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeList)),
 		routeRoute:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeRoute)),
 		routeDevice: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeDevice)),
+		routeTraces: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeTraces)),
 	}
 	obsSrvDupHits = obs.Default.Counter("cloud_idempotency_dup_total")
 )
@@ -36,6 +37,7 @@ const (
 	routeList   = "list"
 	routeRoute  = "route"
 	routeDevice = "device"
+	routeTraces = "debug_traces"
 )
 
 // requestIDKey carries the request id through the context.
@@ -106,25 +108,69 @@ func markDuplicate(w http.ResponseWriter) {
 	}
 }
 
-// instrument wraps one route's handler with metrics and (when s.Logger is
-// set) structured access logging: method, route, status, bytes, duration,
-// request id, and whether the request was an idempotent replay.
+// instrument wraps one route's handler with metrics, tracing, and (when
+// s.Logger is set) structured access logging: method, route, status, bytes,
+// duration, request id, and whether the request was an idempotent replay.
+//
+// Tracing: an inbound traceparent header makes the server span a child of
+// the client's span (the same trace id follows the request through retries
+// and into coalescer folds via span links); without one, a new trace starts
+// subject to the tracer's head-sampling rate. The span context rides the
+// request context so handlers — the batch door in particular — can thread it
+// across the coalescer's queue boundary.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := s.tracer()
+		var sp *obs.Span
+		if tr.Enabled() {
+			var ctx context.Context
+			if sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+				ctx, sp = tr.StartChildCtx(r.Context(), sc, "server:"+route, "cloud",
+					obs.L("method", r.Method))
+			} else if tr.ShouldSample() {
+				ctx, sp = tr.StartCtx(r.Context(), "server:"+route, "cloud",
+					obs.L("method", r.Method))
+			}
+			if sp != nil {
+				r = r.WithContext(ctx)
+			}
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		h(rec, r)
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
 		dur := time.Since(start)
+		if sp != nil {
+			sp.Annotate("status", strconv.Itoa(rec.status))
+			switch {
+			case rec.status >= 500:
+				sp.Annotate("error", http.StatusText(rec.status))
+			case rec.status == http.StatusTooManyRequests:
+				sp.Annotate("shed", "1")
+			}
+			if rec.duplicate {
+				sp.Annotate("idempotency_dup", "1")
+			}
+			sp.End()
+		}
 		obs.Default.Counter("cloud_server_requests_total",
 			obs.L("route", route), obs.L("status", strconv.Itoa(rec.status))).Inc()
 		if hist, ok := obsSrvLatency[route]; ok {
-			hist.Observe(dur.Seconds())
+			if sp != nil {
+				// Exemplar: outliers in the latency histogram carry the
+				// trace id of a request that actually landed in that bucket.
+				hist.ObserveTrace(dur.Seconds(), sp.Context().Trace)
+			} else {
+				hist.Observe(dur.Seconds())
+			}
 		}
 		if rec.duplicate {
 			obsSrvDupHits.Inc()
+		}
+		if e := s.slo; e != nil {
+			e.Record(route, rec.status >= 500, dur.Seconds())
 		}
 		if s.Logger != nil {
 			s.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",

@@ -80,22 +80,23 @@ type roadState struct {
 // order is road lock → device lock, and device code never takes a road lock,
 // so the hierarchy is acyclic. The caller bumps generations and the
 // server-wide counter (the direct path bumps per call, the coalescer
-// amortizes across a fold batch).
-func (rs *roadState) addLocked(p *fusion.Profile, de *deviceEntry) error {
+// amortizes across a fold batch). The returned report carries the fold's
+// robustness counts (downweighted/trimmed/clamped cells, post-fold
+// reputation) for span annotation; it is zero on error.
+func (rs *roadState) addLocked(p *fusion.Profile, de *deviceEntry) (fusion.FoldReport, error) {
 	if rs.acc.Len() > 0 && rs.acc.Spacing() != p.SpacingM {
-		return fmt.Errorf("cloud: expects spacing %v, got %v", rs.acc.Spacing(), p.SpacingM)
+		return fusion.FoldReport{}, fmt.Errorf("cloud: expects spacing %v, got %v", rs.acc.Spacing(), p.SpacingM)
 	}
 	if de == nil {
-		return rs.acc.Add(p)
+		return rs.acc.AddDeviceReport(p, nil)
 	}
 	de.mu.Lock()
-	err := rs.acc.AddDevice(p, &de.st)
-	rep := de.st.Reputation
+	rep, err := rs.acc.AddDeviceReport(p, &de.st)
 	de.mu.Unlock()
 	if err == nil {
-		obsDeviceReputation.Observe(rep)
+		obsDeviceReputation.Observe(rep.Reputation)
 	}
-	return err
+	return rep, err
 }
 
 // fusedLocked returns the current fused snapshot, rebuilding from the

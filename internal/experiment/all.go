@@ -35,6 +35,7 @@ func Registry() map[string]Runner {
 		"misalignment": Misalignment,
 		"multivehicle": MultiVehicle,
 		"ablation":     Ablation,
+		"obssweep":     ObsSweep,
 		"robustness":   Robustness,
 		"robustsweep":  RobustnessSweep,
 		"poisonsweep":  PoisonSweep,
@@ -69,10 +70,23 @@ func Run(name string, opt Options) (Table, error) {
 	return r(opt)
 }
 
-// All runs every registered experiment in stable order.
+// measured marks experiments whose tables contain wall-clock measurements
+// (throughput, latency) rather than seed-deterministic values. All skips
+// them so the full-sweep output stays a pure function of -seed — the
+// determinism contract CI diffs against; they run only when requested by
+// name with -exp.
+var measured = map[string]bool{
+	"obssweep": true,
+}
+
+// All runs every registered experiment in stable order, skipping
+// wall-clock-measured ones (see measured).
 func All(opt Options) ([]Table, error) {
 	var out []Table
 	for _, name := range Names() {
+		if measured[name] {
+			continue
+		}
 		t, err := Run(name, opt)
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s: %w", name, err)

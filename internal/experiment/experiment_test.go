@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"lanechange", "headline", "uplift",
 		// Extension studies.
 		"misalignment", "multivehicle", "ablation", "robustness", "robustsweep",
-		"poisonsweep", "speedsweep",
+		"poisonsweep", "speedsweep", "obssweep",
 		"journey", "routing", "ecoroutes",
 	}
 	reg := Registry()

@@ -189,8 +189,14 @@ func TestAllQuickRunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != len(Names()) {
-		t.Errorf("All returned %d tables, want %d", len(tables), len(Names()))
+	want := 0
+	for _, name := range Names() {
+		if !measured[name] {
+			want++
+		}
+	}
+	if len(tables) != want {
+		t.Errorf("All returned %d tables, want %d (measured experiments are skipped)", len(tables), want)
 	}
 	seen := map[string]bool{}
 	for _, tb := range tables {

@@ -171,6 +171,23 @@ type foldStats struct {
 	agree     int     // of those, cells with z^2 <= agreeZ2
 	resSum    float64 // Σ residual over consensus cells (after bias subtraction)
 	fired     bool    // any cell down-weighted, trimmed, or clamped
+	// Per-mechanism cell counts, also batched into the obs counters.
+	downweighted uint64
+	trimmed      uint64
+	clamped      uint64
+}
+
+// FoldReport summarizes what one fold did to one submission — the per-cell
+// robustness interventions and the device's post-fold reputation — so
+// callers (the coalescer's fold spans) can annotate traces with the
+// trust decisions that shaped the map.
+type FoldReport struct {
+	ConsensusCells int     // cells scored against an established consensus
+	AgreeCells     int     // of those, cells within the agreement band
+	Downweighted   uint64  // cells Huber-downweighted
+	Trimmed        uint64  // cells trimmed to zero weight
+	Clamped        uint64  // cells residual-clamped
+	Reputation     float64 // device reputation after the fold (1 when anonymous)
 }
 
 // observe folds one submission's agreement evidence into the device state.
@@ -300,19 +317,34 @@ func (a *RobustAccumulator) Add(p *Profile) error { return a.AddDevice(p, nil) }
 // policy, so reputations are observable even while fusing naively — but only
 // robust policies *apply* them to the fusion weights.
 func (a *RobustAccumulator) AddDevice(p *Profile, dev *DeviceState) error {
+	_, err := a.AddDeviceReport(p, dev)
+	return err
+}
+
+// AddDeviceReport is AddDevice returning the fold's robustness report.
+func (a *RobustAccumulator) AddDeviceReport(p *Profile, dev *DeviceState) (FoldReport, error) {
 	if p == nil || p.Len() == 0 {
-		return errors.New("fusion: empty profile")
+		return FoldReport{}, errors.New("fusion: empty profile")
 	}
 	if len(a.window) == 0 {
 		a.spacing = p.SpacingM
 	} else if math.Abs(p.SpacingM-a.spacing) > 1e-9 {
-		return fmt.Errorf("fusion: profile spacing %v != %v", p.SpacingM, a.spacing)
+		return FoldReport{}, fmt.Errorf("fusion: profile spacing %v != %v", p.SpacingM, a.spacing)
 	}
 	start := time.Now()
 	obsAccAdds.Inc()
 	e, st := a.newRobustContribution(p, dev)
+	rep := FoldReport{
+		ConsensusCells: st.consensus,
+		AgreeCells:     st.agree,
+		Downweighted:   st.downweighted,
+		Trimmed:        st.trimmed,
+		Clamped:        st.clamped,
+		Reputation:     1,
+	}
 	if dev != nil {
 		dev.observe(st)
+		rep.Reputation = dev.Reputation
 	}
 	if a.maxWindow > 0 && len(a.window) >= a.maxWindow {
 		drop := len(a.window) - a.maxWindow + 1
@@ -327,7 +359,7 @@ func (a *RobustAccumulator) AddDevice(p *Profile, dev *DeviceState) error {
 		a.accumulate(e)
 	}
 	obsRobustAddSeconds[a.policy.Policy].Observe(time.Since(start).Seconds())
-	return nil
+	return rep, nil
 }
 
 // newRobustContribution computes the submission's frozen per-cell terms
@@ -358,7 +390,6 @@ func (a *RobustAccumulator) newRobustContribution(p *Profile, dev *DeviceState) 
 	// Counter increments are atomic RMWs; batch them per fold rather than
 	// paying one per fired cell (a biased submission fires on most of its
 	// cells, which would dominate the fold's cost).
-	var nDown, nTrim, nClamp uint64
 
 	for c := 0; c < n; c++ {
 		if p.Var[c] <= 0 {
@@ -424,35 +455,35 @@ func (a *RobustAccumulator) newRobustContribution(p *Profile, dev *DeviceState) 
 			if rr > k2*denom {
 				w = huberK * math.Sqrt(denom/rr) // k/|z|
 				st.fired = true
-				nDown++
+				st.downweighted++
 			}
 		} else if rr > tz2*denom { // trimmed
 			st.fired = true
-			nTrim++
+			st.trimmed++
 			continue // wi = cw = 0: cell contributes nothing
 		}
 		gEff := gc
 		if r > clamp {
 			gEff = theta + clamp
 			st.fired = true
-			nClamp++
+			st.clamped++
 		} else if r < -clamp {
 			gEff = theta - clamp
 			st.fired = true
-			nClamp++
+			st.clamped++
 		}
 		wi := rho * w * inv
 		e.inv[c] = wi
 		e.w[c] = wi * gEff
 	}
-	if nDown > 0 {
-		obsRobustDownweighted.Add(nDown)
+	if st.downweighted > 0 {
+		obsRobustDownweighted.Add(st.downweighted)
 	}
-	if nTrim > 0 {
-		obsRobustTrimmed.Add(nTrim)
+	if st.trimmed > 0 {
+		obsRobustTrimmed.Add(st.trimmed)
 	}
-	if nClamp > 0 {
-		obsRobustClamped.Add(nClamp)
+	if st.clamped > 0 {
+		obsRobustClamped.Add(st.clamped)
 	}
 	return e, st
 }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Exemplars attach a concrete trace ID to histogram buckets, rendered in
+// OpenMetrics syntax (`... # {trace_id="..."} value`) so a p99 spike on a
+// latency dashboard points straight at a stored trace in the debug plane.
+// Each bucket (including +Inf) holds its most recent exemplar: outliers
+// land in sparse high buckets, so the exemplar there stays the outlier.
+
+// exemplar is one observation tagged with the trace it came from.
+type exemplar struct {
+	value float64
+	trace TraceID
+}
+
+// ObserveTrace records v like Observe and, when trace is non-zero, stores
+// (v, trace) as the exemplar of the bucket v lands in.
+func (h *Histogram) ObserveTrace(v float64, trace TraceID) {
+	h.Observe(v)
+	if trace.IsZero() || len(h.ex) == 0 {
+		return
+	}
+	idx := len(h.bounds) // +Inf slot
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.ex[idx].Store(&exemplar{value: v, trace: trace})
+}
+
+// exemplarAt returns bucket i's exemplar (i == len(bounds) is +Inf), or nil.
+func (h *Histogram) exemplarAt(i int) *exemplar {
+	if len(h.ex) == 0 || i < 0 || i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
+}
+
+// appendExemplar renders the OpenMetrics exemplar suffix onto a bucket line.
+func appendExemplar(b *strings.Builder, e *exemplar) {
+	if e == nil {
+		return
+	}
+	fmt.Fprintf(b, ` # {trace_id="%s"} %s`, e.trace.String(), formatFloat(e.value))
+}

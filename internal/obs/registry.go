@@ -83,12 +83,17 @@ type Histogram struct {
 	inf     atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	ex      []atomic.Pointer[exemplar] // per-bucket exemplars; last slot is +Inf
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs))}
+	return &Histogram{
+		bounds:  bs,
+		buckets: make([]atomic.Uint64, len(bs)),
+		ex:      make([]atomic.Pointer[exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
@@ -206,11 +211,20 @@ type entry struct {
 type Registry struct {
 	mu    sync.Mutex
 	byKey map[string]*entry
+	help  map[string]string // metric family name -> HELP text
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byKey: make(map[string]*entry)}
+	return &Registry{byKey: make(map[string]*entry), help: make(map[string]string)}
+}
+
+// SetHelp attaches HELP text to a metric family, emitted as a `# HELP` line
+// immediately before the family's `# TYPE` line.
+func (r *Registry) SetHelp(name, text string) {
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
 }
 
 // Default is the process-wide registry all built-in instrumentation uses.
@@ -304,6 +318,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, e := range r.byKey {
 		entries = append(entries, e)
 	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
 	r.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].name != entries[j].name {
@@ -315,6 +333,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	lastName := ""
 	for _, e := range entries {
 		if e.name != lastName {
+			if h, ok := help[e.name]; ok {
+				fmt.Fprintf(&b, "# HELP %s %s\n", e.name, escapeHelp(h))
+			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", e.name, e.kind)
 			lastName = e.name
 		}
@@ -359,12 +380,25 @@ func writeHistogram(b *strings.Builder, e *entry) {
 	var cum uint64
 	for i, bound := range h.bounds {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(b, "%s %d\n", seriesLe(e.name, e.labels, formatFloat(bound)), cum)
+		fmt.Fprintf(b, "%s %d", seriesLe(e.name, e.labels, formatFloat(bound)), cum)
+		appendExemplar(b, h.exemplarAt(i))
+		b.WriteByte('\n')
 	}
 	cum += h.inf.Load()
-	fmt.Fprintf(b, "%s %d\n", seriesLe(e.name, e.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s %d", seriesLe(e.name, e.labels, "+Inf"), cum)
+	appendExemplar(b, h.exemplarAt(len(h.bounds)))
+	b.WriteByte('\n')
 	fmt.Fprintf(b, "%s %s\n", series(e.name+"_sum", e.labels), formatFloat(h.Sum()))
 	fmt.Fprintf(b, "%s %d\n", series(e.name+"_count", e.labels), h.Count())
+}
+
+// escapeHelp escapes HELP text per the Prometheus text format.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The SLO engine tracks declarative per-route objectives with multi-window
+// burn rates, the standard SRE construction: the burn rate over a window is
+// the observed bad-request fraction divided by the budgeted bad fraction
+// (1 - target), so burn 1.0 consumes exactly the error budget, and a
+// fast-burn alert requires BOTH the short (5m) and long (1h) windows to
+// burn hot — the short window proves the problem is still happening, the
+// long window proves it is big enough to matter and debounces blips.
+//
+// Counters are fed directly by the serving middleware (Record), not scraped
+// from the registry: one atomic add per request per matching objective.
+// Tick snapshots the cumulative counters on a schedule; window burn rates
+// diff the live counters against the newest snapshot at least window-old
+// (partial windows fall back to the oldest snapshot, so a freshly started
+// engine behaves like a short window until history accumulates).
+
+// SLOKind discriminates objective types.
+type SLOKind string
+
+const (
+	// SLOAvailability counts a request good unless it failed (5xx).
+	SLOAvailability SLOKind = "availability"
+	// SLOLatency counts a request good if it succeeded within ThresholdS.
+	SLOLatency SLOKind = "latency"
+)
+
+// Objective is one declarative service-level objective on a route.
+type Objective struct {
+	// Name labels gauges and reports (e.g. "submit_batch-availability").
+	Name string
+	// Route matches the serving middleware's route tag.
+	Route string
+	Kind  SLOKind
+	// Target is the good fraction objective in (0, 1), e.g. 0.999.
+	Target float64
+	// ThresholdS is the latency bar in seconds (SLOLatency only).
+	ThresholdS float64
+}
+
+// Validate reports whether the objective is well-formed.
+func (o Objective) Validate() error {
+	if o.Name == "" || o.Route == "" {
+		return fmt.Errorf("obs: objective needs name and route")
+	}
+	if !(o.Target > 0 && o.Target < 1) {
+		return fmt.Errorf("obs: objective %s: target %v outside (0,1)", o.Name, o.Target)
+	}
+	switch o.Kind {
+	case SLOAvailability:
+	case SLOLatency:
+		if !(o.ThresholdS > 0) {
+			return fmt.Errorf("obs: objective %s: latency threshold %v must be > 0", o.Name, o.ThresholdS)
+		}
+	default:
+		return fmt.Errorf("obs: objective %s: unknown kind %q", o.Name, o.Kind)
+	}
+	return nil
+}
+
+// Burn-rate thresholds (multiples of budget-neutral consumption).
+const (
+	FastBurn = 14.4 // 2% of a 30-day budget in 1h; page-worthy
+	SlowBurn = 6.0  // 5% of a 30-day budget in 6h; degraded
+)
+
+// SLOConfig configures an engine; zero windows default to 5m/1h.
+type SLOConfig struct {
+	Objectives  []Objective
+	ShortWindow time.Duration
+	LongWindow  time.Duration
+	Now         func() time.Time // injectable for tests
+}
+
+type sloSample struct {
+	t           time.Time
+	good, total uint64
+}
+
+type sloTracker struct {
+	obj         Objective
+	good, total atomic.Uint64
+
+	mu      sync.Mutex
+	samples []sloSample
+}
+
+// SLOEngine evaluates a set of objectives against request outcomes.
+type SLOEngine struct {
+	shortWin time.Duration
+	longWin  time.Duration
+	now      func() time.Time
+
+	objs    []*sloTracker
+	byRoute map[string][]*sloTracker
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSLOEngine builds an engine. Invalid objectives error out up front.
+func NewSLOEngine(cfg SLOConfig) (*SLOEngine, error) {
+	e := &SLOEngine{
+		shortWin: cfg.ShortWindow,
+		longWin:  cfg.LongWindow,
+		now:      cfg.Now,
+		byRoute:  make(map[string][]*sloTracker),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if e.shortWin <= 0 {
+		e.shortWin = 5 * time.Minute
+	}
+	if e.longWin <= 0 {
+		e.longWin = time.Hour
+	}
+	if e.longWin < e.shortWin {
+		return nil, fmt.Errorf("obs: long window %v < short window %v", e.longWin, e.shortWin)
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	if len(cfg.Objectives) == 0 {
+		return nil, fmt.Errorf("obs: no objectives")
+	}
+	start := e.now()
+	seen := make(map[string]bool)
+	for _, o := range cfg.Objectives {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("obs: duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+		tr := &sloTracker{obj: o}
+		// A zero baseline sample makes partial windows well-defined from the
+		// first request.
+		tr.samples = append(tr.samples, sloSample{t: start})
+		e.objs = append(e.objs, tr)
+		e.byRoute[o.Route] = append(e.byRoute[o.Route], tr)
+	}
+	return e, nil
+}
+
+// Objectives returns the configured objectives in registration order.
+func (e *SLOEngine) Objectives() []Objective {
+	out := make([]Objective, len(e.objs))
+	for i, tr := range e.objs {
+		out[i] = tr.obj
+	}
+	return out
+}
+
+// Record feeds one request outcome to every objective on route. It is one
+// atomic add per matching objective — safe and cheap on the serving path.
+func (e *SLOEngine) Record(route string, failed bool, latencyS float64) {
+	for _, tr := range e.byRoute[route] {
+		tr.total.Add(1)
+		good := !failed
+		if good && tr.obj.Kind == SLOLatency && latencyS > tr.obj.ThresholdS {
+			good = false
+		}
+		if good {
+			tr.good.Add(1)
+		}
+	}
+}
+
+// Tick snapshots cumulative counters for window arithmetic. Call it on a
+// schedule (Start) or manually in tests; staleness only widens the
+// effective windows, it never loses requests.
+func (e *SLOEngine) Tick() {
+	now := e.now()
+	keepAfter := now.Add(-e.longWin - e.shortWin)
+	for _, tr := range e.objs {
+		good, total := tr.good.Load(), tr.total.Load()
+		tr.mu.Lock()
+		tr.samples = append(tr.samples, sloSample{t: now, good: good, total: total})
+		// Prune history, always retaining at least one sample older than the
+		// long window (or the oldest available) as the diff base.
+		i := 0
+		for i < len(tr.samples)-1 && tr.samples[i+1].t.Before(keepAfter) {
+			i++
+		}
+		if i > 0 {
+			tr.samples = append(tr.samples[:0], tr.samples[i:]...)
+		}
+		tr.mu.Unlock()
+	}
+}
+
+// Start ticks the engine every interval until Close.
+func (e *SLOEngine) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.Tick()
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the background ticker, if one was started.
+func (e *SLOEngine) Close() {
+	e.stopOnce.Do(func() { close(e.stop) })
+}
+
+// burn returns the burn rate of tr over the trailing window ending now.
+func (e *SLOEngine) burn(tr *sloTracker, window time.Duration, now time.Time) float64 {
+	good, total := tr.good.Load(), tr.total.Load()
+	cutoff := now.Add(-window)
+	tr.mu.Lock()
+	base := tr.samples[0]
+	for _, s := range tr.samples[1:] {
+		if s.t.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	tr.mu.Unlock()
+	dTotal := total - base.total
+	if dTotal == 0 {
+		return 0
+	}
+	dBad := dTotal - (good - base.good)
+	badFrac := float64(dBad) / float64(dTotal)
+	return badFrac / (1 - tr.obj.Target)
+}
+
+// ObjectiveStatus is one objective's evaluated state.
+type ObjectiveStatus struct {
+	Name            string  `json:"name"`
+	Route           string  `json:"route"`
+	Kind            string  `json:"kind"`
+	Target          float64 `json:"target"`
+	Good            uint64  `json:"good"`
+	Total           uint64  `json:"total"`
+	BurnShort       float64 `json:"burn_short"`
+	BurnLong        float64 `json:"burn_long"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Status          string  `json:"status"`
+}
+
+// SLOReport is the engine's full evaluated state.
+type SLOReport struct {
+	Status      string            `json:"status"`
+	ShortWindow string            `json:"short_window"`
+	LongWindow  string            `json:"long_window"`
+	Objectives  []ObjectiveStatus `json:"objectives"`
+}
+
+// Report evaluates every objective. The overall Status is the worst
+// objective status: "ok", "degraded" (slow burn on both windows, or budget
+// exhausted), or "unhealthy" (fast burn on both windows).
+func (e *SLOEngine) Report() SLOReport {
+	now := e.now()
+	rep := SLOReport{
+		Status:      "ok",
+		ShortWindow: fmtWindow(e.shortWin),
+		LongWindow:  fmtWindow(e.longWin),
+	}
+	worst := 0
+	for _, tr := range e.objs {
+		bs := e.burn(tr, e.shortWin, now)
+		bl := e.burn(tr, e.longWin, now)
+		remaining := 1 - bl
+		st := "ok"
+		rank := 0
+		switch {
+		case bs >= FastBurn && bl >= FastBurn:
+			st, rank = "unhealthy", 2
+		case (bs >= SlowBurn && bl >= SlowBurn) || remaining <= 0:
+			st, rank = "degraded", 1
+		}
+		if rank > worst {
+			worst = rank
+		}
+		rep.Objectives = append(rep.Objectives, ObjectiveStatus{
+			Name:            tr.obj.Name,
+			Route:           tr.obj.Route,
+			Kind:            string(tr.obj.Kind),
+			Target:          tr.obj.Target,
+			Good:            tr.good.Load(),
+			Total:           tr.total.Load(),
+			BurnShort:       round4(bs),
+			BurnLong:        round4(bl),
+			BudgetRemaining: round4(remaining),
+			Status:          st,
+		})
+	}
+	switch worst {
+	case 2:
+		rep.Status = "unhealthy"
+	case 1:
+		rep.Status = "degraded"
+	}
+	return rep
+}
+
+// Status returns just the overall status string.
+func (e *SLOEngine) Status() string { return e.Report().Status }
+
+// RegisterGauges exposes slo_error_budget_remaining{slo=} and
+// slo_burn_rate{slo=,window=} gauges on r, evaluated at scrape time.
+func (e *SLOEngine) RegisterGauges(r *Registry) {
+	r.SetHelp("slo_error_budget_remaining", "Fraction of the long-window error budget not yet consumed (1 = untouched, <=0 = exhausted).")
+	r.SetHelp("slo_burn_rate", "Error budget burn rate over the trailing window (1 = budget-neutral).")
+	short, long := fmtWindow(e.shortWin), fmtWindow(e.longWin)
+	for _, tr := range e.objs {
+		tr := tr
+		r.GaugeFunc("slo_error_budget_remaining", func() float64 {
+			return 1 - e.burn(tr, e.longWin, e.now())
+		}, L("slo", tr.obj.Name))
+		r.GaugeFunc("slo_burn_rate", func() float64 {
+			return e.burn(tr, e.shortWin, e.now())
+		}, L("slo", tr.obj.Name), L("window", short))
+		r.GaugeFunc("slo_burn_rate", func() float64 {
+			return e.burn(tr, e.longWin, e.now())
+		}, L("slo", tr.obj.Name), L("window", long))
+	}
+}
+
+// fmtWindow renders a duration compactly ("5m", "1h", "90s").
+func fmtWindow(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%gs", d.Seconds())
+	}
+}
+
+func round4(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	return math.Round(v*1e4) / 1e4
+}

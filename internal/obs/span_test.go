@@ -7,15 +7,23 @@ import (
 )
 
 // TestTracerDisabledNoop verifies that spans on a disabled tracer record
-// nothing and that the zero Span is safe to End.
+// nothing and that nil/zero Spans are safe to use.
 func TestTracerDisabledNoop(t *testing.T) {
 	tr := &Tracer{}
 	sp := tr.Start("work", "test")
+	sp.Annotate("k", "v")
 	sp.End()
 	if n := len(tr.Events()); n != 0 {
 		t.Errorf("disabled tracer recorded %d events", n)
 	}
-	Span{}.End() // zero value must not panic
+	var nilSpan *Span
+	nilSpan.End() // nil must not panic
+	nilSpan.Annotate("k", "v")
+	nilSpan.Link(SpanContext{})
+	if nilSpan.Context().IsValid() {
+		t.Error("nil span context should be invalid")
+	}
+	(&Span{}).End() // zero value must not panic
 }
 
 func BenchmarkSpanDisabled(b *testing.B) {

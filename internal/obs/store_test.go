@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// storeTracer wires a fresh tracer to a fresh store.
+func storeTracer(cfg StoreConfig) (*Tracer, *TraceStore) {
+	tr := &Tracer{}
+	st := NewTraceStore(cfg)
+	tr.SetSink(st)
+	tr.Enable()
+	return tr, st
+}
+
+// TestStoreKeepAnnotated: traces carrying error/shed/quarantine annotations
+// are always kept; unremarkable traces follow the sample rate.
+func TestStoreKeepAnnotated(t *testing.T) {
+	rand := 1.0 // never probabilistically sample
+	tr, st := storeTracer(StoreConfig{Rand: func() float64 { return rand }})
+	defer tr.Disable()
+
+	for _, key := range []string{"error", "shed", "quarantine", "keep"} {
+		sp := tr.Start("op-"+key, "test")
+		sp.Annotate(key, "1")
+		sp.End()
+	}
+	plain := tr.Start("op-plain", "test")
+	plain.End()
+
+	if st.Len() != 4 {
+		t.Fatalf("kept %d traces, want the 4 annotated", st.Len())
+	}
+	for _, s := range st.Summaries() {
+		if s.Reason == "sampled" || s.Reason == "" {
+			t.Errorf("trace %s kept for %q", s.TraceID, s.Reason)
+		}
+	}
+	// Now let the sampler pass: the plain trace is kept as "sampled".
+	rand = 0.0
+	tr.Start("op-plain2", "test").End()
+	sums := st.Summaries()
+	last := sums[len(sums)-1]
+	if last.Root != "op-plain2" || last.Reason != "sampled" {
+		t.Errorf("sampled trace = %+v", last)
+	}
+}
+
+// TestStoreSlowKeep: an explicit SlowUS floor forces slow traces in even
+// when the sampler would drop them.
+func TestStoreSlowKeep(t *testing.T) {
+	tr, st := storeTracer(StoreConfig{SlowUS: 1, Rand: func() float64 { return 1 }})
+	defer tr.Disable()
+	sp := tr.Start("slowop", "test")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if st.Len() != 1 || st.Summaries()[0].Reason != "slow" {
+		t.Fatalf("slow trace not kept: %+v", st.Summaries())
+	}
+}
+
+// TestStoreLinkedTraces: a fold-style span in its own trace that links into
+// a kept request trace is returned by Trace(requestID).
+func TestStoreLinkedTraces(t *testing.T) {
+	tr, st := storeTracer(StoreConfig{Rand: func() float64 { return 1 }})
+	defer tr.Disable()
+
+	ctx, req := tr.StartCtx(context.Background(), "server:submit_batch", "cloud")
+	reqSC, _ := SpanContextFrom(ctx)
+	req.Annotate("error", "boom") // force keep
+	req.End()
+
+	fold := tr.Start("coalesce:fold", "cloud", L("keep", "fold"))
+	fold.Link(reqSC)
+	fold.End()
+
+	spans, ok := st.Trace(reqSC.Trace)
+	if !ok {
+		t.Fatal("request trace not found")
+	}
+	var haveFold bool
+	for _, s := range spans {
+		if s.Name == "coalesce:fold" {
+			haveFold = true
+			if len(s.Links) == 0 || s.Links[0].Trace != reqSC.Trace {
+				t.Errorf("fold span links = %+v", s.Links)
+			}
+		}
+	}
+	if !haveFold {
+		t.Fatalf("fold span not stitched into request trace; got %d spans", len(spans))
+	}
+}
+
+// TestStoreRingEviction: the kept ring is bounded and evicts oldest-first,
+// cleaning up the byID and link indexes.
+func TestStoreRingEviction(t *testing.T) {
+	tr, st := storeTracer(StoreConfig{Capacity: 2, Rand: func() float64 { return 1 }})
+	defer tr.Disable()
+
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("op", "test")
+		sp.Annotate("keep", "x")
+		ids = append(ids, sp.Context().Trace)
+		sp.End()
+	}
+	if st.Len() != 2 {
+		t.Fatalf("ring holds %d, want 2", st.Len())
+	}
+	if _, ok := st.Trace(ids[0]); ok {
+		t.Error("oldest trace survived eviction")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := st.Trace(id); !ok {
+			t.Errorf("trace %s missing", id)
+		}
+	}
+}
+
+// TestStoreBoundarySweep: a trace whose root lives elsewhere (every local
+// span has a parent) finalizes via the idle sweep, not a root end.
+func TestStoreBoundarySweep(t *testing.T) {
+	tr, st := storeTracer(StoreConfig{Rand: func() float64 { return 1 }})
+	defer tr.Disable()
+
+	remote := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	_, srv := tr.StartCtx(ContextWithSpan(context.Background(), remote), "server:submit", "cloud")
+	srv.Annotate("error", "500")
+	srv.End()
+
+	if st.Len() != 0 {
+		t.Fatal("boundary trace finalized before sweep")
+	}
+	st.Sweep(true)
+	if st.Len() != 1 {
+		t.Fatalf("sweep kept %d traces, want 1", st.Len())
+	}
+	if _, ok := st.Trace(remote.Trace); !ok {
+		t.Error("boundary trace not retrievable by remote trace id")
+	}
+}
+
+// TestStoreHandler covers the debug plane: directory listing, single-trace
+// Chrome export, 404 on unknown, 400 on malformed.
+func TestStoreHandler(t *testing.T) {
+	tr, st := storeTracer(StoreConfig{Rand: func() float64 { return 1 }})
+	defer tr.Disable()
+	sp := tr.Start("op", "test")
+	sp.Annotate("error", "x")
+	id := sp.Context().Trace
+	sp.End()
+
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dir struct {
+		Kept   int            `json:"kept"`
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dir.Kept != 1 || len(dir.Traces) != 1 || dir.Traces[0].TraceID != id.String() {
+		t.Fatalf("directory = %+v", dir)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "?id=" + id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(chrome.TraceEvents) != 1 || chrome.TraceEvents[0].Ph != "X" {
+		t.Fatalf("chrome export = %+v", chrome)
+	}
+	if chrome.TraceEvents[0].Args["trace_id"] != id.String() {
+		t.Errorf("export args = %v", chrome.TraceEvents[0].Args)
+	}
+
+	if resp, _ = ts.Client().Get(ts.URL + "?id=" + NewTraceID().String()); resp.StatusCode != 404 {
+		t.Errorf("unknown id: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp, _ = ts.Client().Get(ts.URL + "?id=zzz"); resp.StatusCode != 400 {
+		t.Errorf("bad id: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStoreActiveBound: exceeding MaxActive finalizes the idlest in-flight
+// trace instead of growing without bound.
+func TestStoreActiveBound(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := &Tracer{}
+	st := NewTraceStore(StoreConfig{
+		MaxActive: 4,
+		Rand:      func() float64 { return 1 },
+		Now:       func() time.Time { now = now.Add(time.Millisecond); return now },
+	})
+	tr.SetSink(st)
+	tr.Enable()
+	defer tr.Disable()
+
+	// Feed spans from 16 distinct traces that never see their root end.
+	for i := 0; i < 16; i++ {
+		remote := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+		_, sp := tr.StartCtx(ContextWithSpan(context.Background(), remote), "server:op", "cloud")
+		sp.End()
+	}
+	st.mu.Lock()
+	n := len(st.active)
+	st.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("active traces = %d, want <= MaxActive 4", n)
+	}
+}

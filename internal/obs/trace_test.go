@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestTraceparentRoundTrip: format → parse is the identity for valid
+// contexts, with the sampled flag preserved both ways.
+func TestTraceparentRoundTrip(t *testing.T) {
+	for _, sampled := range []bool{true, false} {
+		sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: sampled}
+		h := sc.Traceparent()
+		if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+			t.Fatalf("traceparent %q: bad shape", h)
+		}
+		got, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) failed", h)
+		}
+		if got != sc {
+			t.Errorf("round trip %+v != %+v", got, sc)
+		}
+	}
+}
+
+// TestParseTraceparentRejects: malformed headers must not produce a context.
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}.Traceparent()
+	bad := []string{
+		"",
+		"00",
+		valid[:54],       // truncated
+		valid + "x",      // version 00 with trailing garbage
+		"ff" + valid[2:], // invalid version
+		strings.Replace(valid, "-", "_", 1),
+		"00-" + strings.Repeat("0", 32) + valid[35:],      // zero trace id
+		"00-" + strings.Repeat("g", 32) + valid[35:],      // non-hex trace id
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // zero span id
+	}
+	for _, v := range bad {
+		if _, ok := ParseTraceparent(v); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", v)
+		}
+	}
+	// Forward compat: a future version with extra fields parses.
+	future := "42" + valid[2:] + "-extrastate"
+	if _, ok := ParseTraceparent(future); !ok {
+		t.Errorf("future version %q rejected", future)
+	}
+}
+
+// TestStartCtxPropagation: StartCtx chains parent → child IDs through the
+// context and keeps the whole chain in one trace.
+func TestStartCtxPropagation(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable()
+	defer tr.Disable()
+
+	ctx, root := tr.StartCtx(context.Background(), "root", "test")
+	ctx2, child := tr.StartCtx(ctx, "child", "test")
+	_, grand := tr.StartCtx(ctx2, "grandchild", "test")
+	grand.End()
+	child.End()
+	root.End()
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Completion order: grandchild, child, root.
+	g, c, r := evs[0], evs[1], evs[2]
+	if r.Trace != c.Trace || c.Trace != g.Trace {
+		t.Fatal("spans not in one trace")
+	}
+	if !r.Parent.IsZero() {
+		t.Errorf("root has parent %v", r.Parent)
+	}
+	if c.Parent != r.ID || g.Parent != c.ID {
+		t.Errorf("parent chain broken: %v<-%v<-%v", r.ID, c.Parent, g.Parent)
+	}
+	// Remote parent: a context seeded from a parsed traceparent continues
+	// the remote trace.
+	remote := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	_, srv := tr.StartCtx(ContextWithSpan(context.Background(), remote), "server", "test")
+	srv.End()
+	ev := tr.Events()[3]
+	if ev.Trace != remote.Trace || ev.Parent != remote.Span {
+		t.Errorf("remote continuation: trace %v parent %v, want %v/%v",
+			ev.Trace, ev.Parent, remote.Trace, remote.Span)
+	}
+}
+
+// TestTracerRingCap: a saturated tracer stays within its capacity and
+// accounts for overwritten spans in tracer_spans_dropped_total, keeping the
+// most recent spans.
+func TestTracerRingCap(t *testing.T) {
+	tr := &Tracer{}
+	tr.SetCapacity(64)
+	tr.Enable()
+	defer tr.Disable()
+
+	before := obsSpansDropped.Value()
+	for i := 0; i < 1000; i++ {
+		sp := tr.Start("work", "test", L("i", string(rune('0'+i%10))))
+		sp.End()
+	}
+	evs := tr.Events()
+	if len(evs) != 64 {
+		t.Fatalf("saturated tracer holds %d events, want capacity 64", len(evs))
+	}
+	if got := obsSpansDropped.Value() - before; got != 1000-64 {
+		t.Errorf("dropped counter advanced by %d, want %d", got, 1000-64)
+	}
+	// Oldest-first order is preserved across the wrap: the last event
+	// recorded must be the last returned.
+	last, _ := evs[63].Arg("i")
+	if last != string(rune('0'+999%10)) {
+		t.Errorf("newest event arg = %q", last)
+	}
+}
+
+// TestTracerSampling: SetSampleRate pins the head-sampling decision at the
+// extremes and defaults to always-sample.
+func TestTracerSampling(t *testing.T) {
+	tr := &Tracer{}
+	if !tr.ShouldSample() {
+		t.Error("unset rate must sample")
+	}
+	if tr.SampleRate() != 1 {
+		t.Errorf("default rate = %v", tr.SampleRate())
+	}
+	tr.SetSampleRate(0)
+	for i := 0; i < 100; i++ {
+		if tr.ShouldSample() {
+			t.Fatal("rate 0 sampled")
+		}
+	}
+	tr.SetSampleRate(1)
+	for i := 0; i < 100; i++ {
+		if !tr.ShouldSample() {
+			t.Fatal("rate 1 skipped")
+		}
+	}
+	tr.SetSampleRate(2.5) // clamped
+	if tr.SampleRate() != 1 {
+		t.Errorf("rate clamped to %v, want 1", tr.SampleRate())
+	}
+}
+
+// TestSpanLinksExported: links show up in the Chrome export args so the
+// queue-boundary hop is visible in Perfetto.
+func TestSpanLinksExported(t *testing.T) {
+	tr := &Tracer{}
+	tr.Enable()
+	defer tr.Disable()
+	target := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	sp := tr.Start("fold", "cloud")
+	sp.Link(target)
+	sp.Link(SpanContext{}) // invalid: ignored
+	sp.End()
+
+	evs := tr.Events()
+	if len(evs[0].Links) != 1 || evs[0].Links[0] != target {
+		t.Fatalf("links = %+v", evs[0].Links)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := target.Trace.String() + ":" + target.Span.String()
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("chrome export missing link %q", want)
+	}
+}

@@ -12,11 +12,15 @@
 #     JSON/binary submits, plus wire-batch decode (PR 6 baseline), and
 #   - the fusion accumulator benchmarks — plain Accumulator.Add vs the
 #     robust policies (naive/huber/trimmed) on the same workload
-#     (PR 7 baseline).
+#     (PR 7 baseline), and
+#   - the traced-ingest benchmarks — the mixed ingest path with tracing off,
+#     1% head-sampled, and fully sampled, interleaved round-robin and
+#     reduced to per-benchmark medians; Full vs Off is the observability
+#     overhead claim (PR 8 baseline).
 #
-# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json]
+# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json]
 #   (defaults BENCH_PR1.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json,
-#   BENCH_PR7.json)
+#   BENCH_PR7.json, BENCH_PR8.json)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,6 +29,7 @@ out4="${2:-BENCH_PR4.json}"
 out5="${3:-BENCH_PR5.json}"
 out6="${4:-BENCH_PR6.json}"
 out7="${5:-BENCH_PR7.json}"
+out8="${6:-BENCH_PR8.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -53,6 +58,39 @@ emit_json() {
     ' "$1"
 }
 
+# median_rounds reduces repeated `BenchmarkName ...` lines in the file in $1
+# to one line per benchmark: the round whose ns/op is the median. Medians of
+# interleaved rounds (rather than the best of sequential ones) keep slow
+# machine drift from aliasing into cross-benchmark ratios.
+median_rounds() {
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = ""
+        for (i = 2; i <= NF; i++) if ($(i) == "ns/op") ns = $(i - 1) + 0
+        if (ns == "") next
+        n = cnt[name]++
+        val[name, n] = ns
+        line[name, n] = $0
+        if (!(name in seen)) { seen[name] = ++names; byidx[names] = name }
+    }
+    END {
+        for (k = 1; k <= names; k++) {
+            name = byidx[k]
+            m = cnt[name]
+            for (a = 0; a < m; a++) idx[a] = a
+            for (a = 0; a < m; a++)
+                for (b = a + 1; b < m; b++)
+                    if (val[name, idx[b]] < val[name, idx[a]]) {
+                        t = idx[a]; idx[a] = idx[b]; idx[b] = t
+                    }
+            print line[name, idx[int(m / 2)]]
+        }
+    }
+    ' "$1"
+}
+
 go test -run '^$' -bench 'BenchmarkFigure(9a|9b|10a|10b)' -benchmem -benchtime=1x . >"$tmp"
 go test -run '^$' -bench 'BenchmarkClosestS' -benchmem ./internal/geo >>"$tmp"
 emit_json "$tmp" >"$out1"
@@ -78,3 +116,27 @@ go test -run '^$' -bench 'BenchmarkFusionAccAdd' -benchmem ./internal/fusion >"$
 emit_json "$tmp" >"$out7"
 echo "wrote $out7:"
 cat "$out7"
+
+# The traced-ingest family measures a single-digit-percent effect on
+# machines whose wall clock drifts by more than that between invocations;
+# sequential runs (all Off, then all Full, minutes apart) alias the drift
+# into the Off/Full ratio. Build the test binary once, interleave the
+# configs round-robin at a fixed iteration count, and snapshot the
+# per-benchmark median round.
+obsdir="$(mktemp -d)"
+trap 'rm -f "$tmp"; rm -rf "$obsdir"' EXIT
+go test -c -o "$obsdir/cloud.test" ./internal/cloud
+: >"$tmp"
+round=0
+rounds="${BENCH_OBS_ROUNDS:-5}"
+while [ "$round" -lt "$rounds" ]; do
+    for b in Off Sampled Full; do
+        "$obsdir/cloud.test" -test.run '^$' -test.bench "BenchmarkTracedIngest${b}\$" \
+            -test.benchmem -test.benchtime=40000x | grep '^Benchmark' >>"$tmp"
+    done
+    round=$((round + 1))
+done
+median_rounds "$tmp" >"$obsdir/median.txt"
+emit_json "$obsdir/median.txt" >"$out8"
+echo "wrote $out8:"
+cat "$out8"

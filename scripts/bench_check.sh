@@ -6,7 +6,7 @@
 # if any benchmark regresses more than its tolerance vs the committed
 # baselines.
 #
-# Usage: scripts/bench_check.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json]
+# Usage: scripts/bench_check.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json]
 #   BENCH_TOLERANCE_PCT           allowed ns/op regression for the PR 1
 #                                 family (default 10)
 #   BENCH_SERVING_TOLERANCE_PCT   allowed ns/op regression for the serving
@@ -26,6 +26,13 @@
 #                                 Add); the loops churn a fresh window slice
 #                                 per op and are cache-sensitive, so the
 #                                 default is looser (30)
+#   BENCH_OBS_TOLERANCE_PCT       allowed ns/op regression for the traced
+#                                 ingest family (PR 8: tracing off / 1% /
+#                                 full); end-to-end HTTP benches are noisy,
+#                                 so the default is looser (30)
+#   OBS_OVERHEAD_PCT              allowed TracedIngestFull overhead over
+#                                 TracedIngestOff in the fresh measurement —
+#                                 the PR 8 acceptance bar (default 5)
 #   BENCH_COUNT                   runs per benchmark; the best run is
 #                                 compared, which filters scheduler noise
 #                                 (default 3)
@@ -37,14 +44,17 @@ baseline4="${2:-BENCH_PR4.json}"
 baseline5="${3:-BENCH_PR5.json}"
 baseline6="${4:-BENCH_PR6.json}"
 baseline7="${5:-BENCH_PR7.json}"
+baseline8="${6:-BENCH_PR8.json}"
 tol1="${BENCH_TOLERANCE_PCT:-10}"
 tol4="${BENCH_SERVING_TOLERANCE_PCT:-30}"
 tol5="${BENCH_ECOROUTE_TOLERANCE_PCT:-30}"
 tol6="${BENCH_INGEST_TOLERANCE_PCT:-30}"
 tol7="${BENCH_FUSION_TOLERANCE_PCT:-30}"
+tol8="${BENCH_OBS_TOLERANCE_PCT:-30}"
+overhead8="${OBS_OVERHEAD_PCT:-5}"
 count="${BENCH_COUNT:-3}"
 
-for b in "$baseline1" "$baseline4" "$baseline5" "$baseline6" "$baseline7"; do
+for b in "$baseline1" "$baseline4" "$baseline5" "$baseline6" "$baseline7" "$baseline8"; do
     if [ ! -f "$b" ]; then
         echo "bench_check: baseline $b not found" >&2
         exit 1
@@ -125,3 +135,78 @@ compare "$tmp" "$baseline6" "$tol6"
 
 go test -run '^$' -bench 'BenchmarkFusionAccAdd' -benchmem -count="$count" ./internal/fusion >"$tmp"
 compare "$tmp" "$baseline7" "$tol7"
+
+# The traced-ingest family measures a single-digit-percent effect, smaller
+# than the slow wall-clock drift of a shared machine; sequential -count runs
+# (all Off, then all Full, minutes apart) alias that drift into the Off/Full
+# ratio. Interleave the configs round-robin at a fixed iteration count and
+# compare the per-benchmark median round.
+obsdir="$(mktemp -d)"
+trap 'rm -f "$tmp"; rm -rf "$obsdir"' EXIT
+go test -c -o "$obsdir/cloud.test" ./internal/cloud
+: >"$obsdir/raw.txt"
+round=0
+while [ "$round" -lt "$count" ]; do
+    for b in Off Sampled Full; do
+        "$obsdir/cloud.test" -test.run '^$' -test.bench "BenchmarkTracedIngest${b}\$" \
+            -test.benchmem -test.benchtime=40000x | grep '^Benchmark' >>"$obsdir/raw.txt"
+    done
+    round=$((round + 1))
+done
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""
+    for (i = 2; i <= NF; i++) if ($(i) == "ns/op") ns = $(i - 1) + 0
+    if (ns == "") next
+    n = cnt[name]++
+    val[name, n] = ns
+    line[name, n] = $0
+    if (!(name in seen)) { seen[name] = ++names; byidx[names] = name }
+}
+END {
+    for (k = 1; k <= names; k++) {
+        name = byidx[k]
+        m = cnt[name]
+        for (a = 0; a < m; a++) idx[a] = a
+        for (a = 0; a < m; a++)
+            for (b = a + 1; b < m; b++)
+                if (val[name, idx[b]] < val[name, idx[a]]) {
+                    t = idx[a]; idx[a] = idx[b]; idx[b] = t
+                }
+        print line[name, idx[int(m / 2)]]
+    }
+}
+' "$obsdir/raw.txt" >"$tmp"
+compare "$tmp" "$baseline8" "$tol8"
+# The PR 8 acceptance bar: in the medians just measured, the fully sampled
+# path must stay within OBS_OVERHEAD_PCT of the tracing-off baseline.
+awk -v tol="$overhead8" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op") {
+            ns = $(i - 1) + 0
+            if (!(name in best) || ns < best[name]) best[name] = ns
+        }
+    }
+}
+END {
+    off = best["BenchmarkTracedIngestOff"]
+    full = best["BenchmarkTracedIngestFull"]
+    if (off == 0 || full == 0) {
+        print "bench_check: traced-ingest overhead gate: benchmarks missing" > "/dev/stderr"
+        exit 1
+    }
+    overhead = (full - off) * 100 / off
+    printf "bench_check: traced-ingest overhead: off %.0f ns/op, full %.0f ns/op (%+.1f%%, bar %s%%)\n", \
+        off, full, overhead, tol
+    if (overhead > tol) {
+        print "bench_check: FAIL (full tracing overhead above the bar)"
+        exit 1
+    }
+    print "bench_check: OK (observability overhead within the bar)"
+}
+' "$tmp"

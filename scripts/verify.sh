@@ -38,6 +38,15 @@ echo "== go test -race (robust fusion / device trust gate) =="
 # a determinism or locking regression fails with a focused report.
 go test -race -count=1 -run 'TestRobust|TestDevice' ./internal/fusion ./internal/cloud
 
+echo "== go test -race (observability gate) =="
+# The tracer ring, the tail-sampling trace store (late-span merge, linked-in
+# fold spans), the SLO engine, and the traced ingest path (traceparent
+# propagation across client retries and the coalescer queue) all run under
+# concurrent submitters; run them uncached so a race or a lost span fails
+# with a focused report.
+go test -race -count=1 ./internal/obs/...
+go test -race -count=2 -run 'TestTrace|TestSLO|TestExemplar|TestExposition|TestHealthz' ./internal/obs ./internal/cloud ./cmd/cloudfuse
+
 echo "== go test -race =="
 go test -race ./...
 
