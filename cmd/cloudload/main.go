@@ -11,6 +11,8 @@
 //	cloudload -clients 32 -read-frac 0.5     # heavier, balanced mix
 //	cloudload -addr http://host:8080         # drive a remote cloudfuse
 //	cloudload -roads 64 -prefill 64 -ops 100000 -metrics
+//	cloudload -read-frac 0.6 -route-frac 0.3 -route-km 164.8 -route-engine cch
+//	                                         # mixed fetch/submit/route workload
 //
 // The workload is deterministic per -seed: every worker derives its own RNG,
 // so two runs issue the same operation sequence (timings differ, of course).
@@ -35,8 +37,10 @@ import (
 	"time"
 
 	"roadgrade/internal/cloud"
+	"roadgrade/internal/ecoroute"
 	"roadgrade/internal/fusion"
 	"roadgrade/internal/obs"
+	"roadgrade/internal/road"
 )
 
 func main() {
@@ -71,18 +75,28 @@ func main() {
 
 // config is one load run's shape.
 type config struct {
-	addr     string        // remote base URL; empty runs an in-process server
-	clients  int           // concurrent workers
-	roads    int           // distinct road ids in play
-	cells    int           // cells per submitted profile
-	prefill  int           // submissions per road before measurement
-	readFrac float64       // fraction of measured ops that are fetches
-	ops      int           // total measured operations (ignored if duration > 0)
-	duration time.Duration // measure for a fixed wall time instead
-	seed     int64
-	conns    int // transport MaxIdleConnsPerHost (0: clients)
-	shards   int // in-process server shard count
-	retries  int // client attempt budget (1 = no retries, measure the server)
+	addr     string  // remote base URL; empty runs an in-process server
+	clients  int     // concurrent workers
+	roads    int     // distinct road ids in play
+	cells    int     // cells per submitted profile
+	prefill  int     // submissions per road before measurement
+	readFrac float64 // fraction of measured ops that are fetches
+	ops      int     // total measured operations (ignored if duration > 0)
+
+	// Route mix (per-op mode): a -route-frac slice of measured ops are
+	// GET /v1/route queries over a network generated from -route-km and
+	// -route-seed. In-process runs enable routing on the server themselves
+	// (-route-engine picks alt or cch); remote runs require the target
+	// cloudfuse to be started with the same -route-km/-route-seed.
+	routeFrac   float64
+	routeKM     float64
+	routeSeed   int64
+	routeEngine string
+	duration    time.Duration // measure for a fixed wall time instead
+	seed        int64
+	conns       int // transport MaxIdleConnsPerHost (0: clients)
+	shards      int // in-process server shard count
+	retries     int // client attempt budget (1 = no retries, measure the server)
 
 	// Fleet mode (see fleet.go).
 	fleet      bool
@@ -116,6 +130,10 @@ func parseFlags(args []string) (config, bool, error) {
 	fs.IntVar(&cfg.ops, "ops", 20000, "total measured operations")
 	fs.DurationVar(&cfg.duration, "duration", 0, "measure for a fixed duration instead of -ops")
 	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed (operation mix is deterministic per seed)")
+	fs.Float64Var(&cfg.routeFrac, "route-frac", 0, "fraction of measured ops that are GET /v1/route queries (needs -route-km)")
+	fs.Float64Var(&cfg.routeKM, "route-km", 0, "street-km of the routing network backing -route-frac (must match the server's for -addr)")
+	fs.Int64Var(&cfg.routeSeed, "route-seed", 1827, "routing network generator seed (must match the server's for -addr)")
+	fs.StringVar(&cfg.routeEngine, "route-engine", "alt", "in-process routing search engine: alt | cch")
 	fs.IntVar(&cfg.conns, "conns", 0, "transport MaxIdleConnsPerHost (0: match -clients)")
 	fs.IntVar(&cfg.shards, "shards", 0, "in-process server shards (0: default)")
 	fs.IntVar(&cfg.retries, "retries", 1, "client attempt budget (1 disables retries so latency is the server's)")
@@ -150,7 +168,7 @@ func parseFlags(args []string) (config, bool, error) {
 // addr, metrics) are fine in either mode.
 var (
 	fleetOnlyFlags    = []string{"phones", "rounds", "batch", "binary", "gzip", "mix", "stagger", "queue-depth", "batch-max", "bad-frac", "bad-class", "fusion-policy"}
-	perOpHarnessFlags = []string{"read-frac", "ops", "prefill", "duration"}
+	perOpHarnessFlags = []string{"read-frac", "ops", "prefill", "duration", "route-frac", "route-km", "route-seed", "route-engine"}
 )
 
 // checkFlagConflicts rejects flag combinations that would silently do
@@ -190,6 +208,7 @@ type report struct {
 	Throughput float64 // ops/s
 	Fetch      opStats
 	Submit     opStats
+	Route      opStats
 	Obs        *obsSummary
 
 	registry *obs.Registry
@@ -204,7 +223,7 @@ func (r *report) String() string {
 		return fmt.Sprintf("p50 %7.3fms  p95 %7.3fms  p99 %7.3fms  (n=%d)",
 			s.P50*1e3, s.P95*1e3, s.P99*1e3, s.Count)
 	}
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"cloudload: %s · %d clients · %d roads · %d prefill · %.0f%% reads · seed %d\n"+
 			"  ops         %d  (errors %d)\n"+
 			"  wall        %v\n"+
@@ -213,7 +232,11 @@ func (r *report) String() string {
 			"  submit      %s\n",
 		mode, r.Config.clients, r.Config.roads, r.Config.prefill, r.Config.readFrac*100, r.Config.seed,
 		r.Ops, r.Errors, r.Wall.Round(time.Millisecond), r.Throughput,
-		f(r.Fetch), f(r.Submit)) + r.Obs.String()
+		f(r.Fetch), f(r.Submit))
+	if r.Config.routeFrac > 0 {
+		out += fmt.Sprintf("  route       %s  [%s engine]\n", f(r.Route), r.Config.routeEngine)
+	}
+	return out + r.Obs.String()
 }
 
 // validate fills defaults and rejects nonsense.
@@ -223,6 +246,15 @@ func (cfg *config) validate() error {
 	}
 	if cfg.readFrac < 0 || cfg.readFrac > 1 {
 		return errors.New("read-frac must be in [0, 1]")
+	}
+	if cfg.routeFrac < 0 || cfg.routeFrac > 1 {
+		return errors.New("route-frac must be in [0, 1]")
+	}
+	if cfg.readFrac+cfg.routeFrac > 1 {
+		return errors.New("read-frac + route-frac must not exceed 1")
+	}
+	if cfg.routeFrac > 0 && cfg.routeKM <= 0 {
+		return errors.New("-route-frac needs -route-km > 0")
 	}
 	if cfg.ops < 1 && cfg.duration <= 0 {
 		return errors.New("need -ops >= 1 or -duration > 0")
@@ -360,6 +392,17 @@ func run(cfg config) (*report, error) {
 		return nil, err
 	}
 
+	// The route mix needs the node-ID universe of the routing network; for
+	// in-process runs the same network also backs the server's engine.
+	var routeNet *road.Network
+	if cfg.routeFrac > 0 {
+		var err error
+		routeNet, err = road.GenerateNetwork(cfg.routeSeed, road.NetworkConfig{TargetStreetKM: cfg.routeKM})
+		if err != nil {
+			return nil, fmt.Errorf("generating routing network: %w", err)
+		}
+	}
+
 	base := cfg.addr
 	var srv *cloud.Server
 	if base == "" {
@@ -376,6 +419,17 @@ func run(cfg config) (*report, error) {
 		}
 		if cfg.prefill > 0 {
 			srv.MaxSubmissionsPerRoad = cfg.prefill
+		}
+		if routeNet != nil {
+			alg, err := ecoroute.ParseAlgorithm(cfg.routeEngine)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := ecoroute.NewEngine(routeNet, ecoroute.CloudSource{Store: srv}, ecoroute.Config{Algorithm: alg})
+			if err != nil {
+				return nil, fmt.Errorf("building routing engine: %w", err)
+			}
+			srv.EnableRouting(eng)
 		}
 		cleanup, err := enableObs(cfg, srv)
 		defer cleanup()
@@ -434,6 +488,7 @@ func run(cfg config) (*report, error) {
 	reg := obs.NewRegistry()
 	fetchHist := reg.Histogram("cloudload_fetch_seconds", obs.LatencyBuckets)
 	submitHist := reg.Histogram("cloudload_submit_seconds", obs.LatencyBuckets)
+	routeHist := reg.Histogram("cloudload_route_seconds", obs.LatencyBuckets)
 	var opCount, errCount atomic.Int64
 
 	perWorker := make([]int, cfg.clients)
@@ -466,11 +521,18 @@ func run(cfg config) (*report, error) {
 					return
 				}
 				road := roadID(rng.Intn(cfg.roads))
-				if rng.Float64() < cfg.readFrac {
+				switch op := rng.Float64(); {
+				case op < cfg.readFrac:
 					t0 := time.Now()
 					_, err = c.FetchProfile(ctx, road)
 					fetchHist.Observe(time.Since(t0).Seconds())
-				} else {
+				case op < cfg.readFrac+cfg.routeFrac:
+					from := routeNet.Nodes[rng.Intn(len(routeNet.Nodes))].ID
+					to := routeNet.Nodes[rng.Intn(len(routeNet.Nodes))].ID
+					t0 := time.Now()
+					_, err = c.Route(ctx, from, to, "fuel", 40)
+					routeHist.Observe(time.Since(t0).Seconds())
+				default:
 					p := makeProfile(rng, cfg.cells)
 					t0 := time.Now()
 					err = c.SubmitProfile(ctx, road, p)
@@ -506,6 +568,7 @@ func run(cfg config) (*report, error) {
 		Throughput: float64(opCount.Load()) / wall.Seconds(),
 		Fetch:      stats(fetchHist),
 		Submit:     stats(submitHist),
+		Route:      stats(routeHist),
 		Obs:        collectObs(srv),
 		registry:   reg,
 	}

@@ -437,6 +437,36 @@ func (c *Client) FetchProfile(ctx context.Context, roadID string) (*fusion.Profi
 	return dto.toProfile()
 }
 
+// Route asks GET /v1/route for an eco-route between two network nodes under
+// the given objective ("" = the server default) and cruise speed (0 = the
+// server default). The server must have routing enabled.
+func (c *Client) Route(ctx context.Context, from, to int, objective string, speedKmh float64) (RouteDTO, error) {
+	ctx, root := c.startRoot(ctx, "client:route", obs.L("objective", objective))
+	defer root.End()
+	url := fmt.Sprintf("%s/v1/route?from=%d&to=%d", c.base, from, to)
+	if objective != "" {
+		url += "&objective=" + objective
+	}
+	if speedKmh > 0 {
+		url += fmt.Sprintf("&speed_kmh=%g", speedKmh)
+	}
+	var dto RouteDTO
+	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	})
+	if err != nil {
+		return dto, fmt.Errorf("cloud: routing: %w", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return dto, fmt.Errorf("cloud: route failed: %s", readError(resp))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBodyBytes)).Decode(&dto); err != nil {
+		return dto, fmt.Errorf("cloud: decoding route: %w", err)
+	}
+	return dto, nil
+}
+
 // ListRoads fetches the submission summary.
 func (c *Client) ListRoads(ctx context.Context) ([]RoadStatus, error) {
 	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {

@@ -124,8 +124,12 @@ type Server struct {
 	// no road's fused profile can have changed.
 	totalGen atomic.Uint64
 
-	// router, when set via EnableRouting, serves GET /v1/route.
-	router *ecoroute.Engine
+	// router, when set via EnableRouting, serves GET /v1/route;
+	// routeQueries counts answered queries labeled by the engine's search
+	// algorithm (alt/cch), so dashboards can attribute latency shifts to an
+	// engine switch.
+	router       *ecoroute.Engine
+	routeQueries *obs.Counter
 
 	// MaxSubmissionsPerRoad bounds memory; once reached, the oldest
 	// submission is dropped (the fused result keeps improving from fresh

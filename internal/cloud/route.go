@@ -15,13 +15,20 @@ import (
 	"strconv"
 
 	"roadgrade/internal/ecoroute"
+	"roadgrade/internal/obs"
 )
 
 // EnableRouting attaches an eco-routing engine, turning on GET /v1/route.
 // Call before Handler()/serving; the engine is typically built over this
 // server's own fused store (ecoroute.CloudSource{Store: s}), so routes follow
-// the crowd-sourced gradient map as submissions refine it.
-func (s *Server) EnableRouting(eng *ecoroute.Engine) { s.router = eng }
+// the crowd-sourced gradient map as submissions refine it. Served queries are
+// counted per search engine (alt/cch) so a config switch shows up in the
+// metrics, not just in latency.
+func (s *Server) EnableRouting(eng *ecoroute.Engine) {
+	s.router = eng
+	s.routeQueries = obs.Default.Counter("cloud_route_queries_total",
+		obs.L("engine", eng.Algorithm()))
+}
 
 // RouteDTO is the wire form of an answered routing query.
 type RouteDTO struct {
@@ -85,6 +92,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.routeQueries.Inc()
 	plan, err := s.router.Route(obj, speed, from, to)
 	switch {
 	case errors.Is(err, ecoroute.ErrUnknownNode), errors.Is(err, ecoroute.ErrNoPath):

@@ -42,8 +42,8 @@ func benchPairs(eng *Engine, n int) [][2]int {
 	nn := len(eng.ids)
 	fwd := make([]float64, nn)
 	bwd := make([]float64, nn)
-	oneToAll(eng.out, eng.head, eng.lengthM, 0, fwd, nil)
-	oneToAll(eng.in, eng.tail, eng.lengthM, 0, bwd, nil)
+	oneToAll(eng.outOff, eng.outArc, eng.head, eng.lengthM, 0, fwd, nil)
+	oneToAll(eng.inOff, eng.inArc, eng.tail, eng.lengthM, 0, bwd, nil)
 	var ids []int
 	for i := 0; i < nn; i++ {
 		if !math.IsInf(fwd[i], 1) && !math.IsInf(bwd[i], 1) {

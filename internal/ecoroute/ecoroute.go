@@ -82,8 +82,39 @@ func ParseObjective(s string) (Objective, error) {
 	return 0, fmt.Errorf("ecoroute: unknown objective %q (want distance | time | fuel | co2)", s)
 }
 
+// Search algorithms the engine can run point queries with. Both return
+// plans whose costs are bit-identical to the plain Dijkstra reference; they
+// differ in how much preprocessing they lean on.
+const (
+	// AlgALT is bidirectional Dijkstra with ALT landmark pruning — no
+	// topology preprocessing beyond landmark distance tables, right for
+	// city-scale graphs (PR 5).
+	AlgALT = "alt"
+	// AlgCCH is the customizable contraction hierarchy: the topology is
+	// contracted once (metric-independent), per-objective weights are
+	// customized over the contracted graph and re-customized incrementally
+	// when the grade source's generation ticks, and queries run PQ-free
+	// over the elimination tree — the country-scale configuration
+	// (DESIGN.md §13).
+	AlgCCH = "cch"
+)
+
+// ParseAlgorithm resolves a search-algorithm name (case-insensitive).
+func ParseAlgorithm(s string) (string, error) {
+	switch strings.ToLower(s) {
+	case "", AlgALT:
+		return AlgALT, nil
+	case AlgCCH:
+		return AlgCCH, nil
+	}
+	return "", fmt.Errorf("ecoroute: unknown algorithm %q (want alt | cch)", s)
+}
+
 // Config tunes the engine. The zero value selects the defaults.
 type Config struct {
+	// Algorithm selects the point-query search: AlgALT (default) or
+	// AlgCCH. The Dijkstra reference is always available via RouteDijkstra.
+	Algorithm string
 	// SpeedsKmh are the cruise-speed buckets cost tables are built for;
 	// queries snap to the nearest bucket. Default {30, 40, 50, 60}.
 	SpeedsKmh []float64
@@ -103,6 +134,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgALT
+	}
 	if len(c.SpeedsKmh) == 0 {
 		c.SpeedsKmh = []float64{30, 40, 50, 60}
 	}
@@ -142,10 +176,15 @@ type Engine struct {
 	cfg Config
 
 	// Dense graph: node IDs are mapped to [0, n) once at construction.
+	// Adjacency is flat CSR (offsets + one edge-index array per direction)
+	// so searches stream through contiguous memory instead of chasing
+	// per-node slice headers.
 	idx     map[int]int // node ID → dense index
 	ids     []int       // dense index → node ID
-	out     [][]int32   // dense node → outgoing edge indices
-	in      [][]int32   // dense node → incoming edge indices
+	outOff  []int32     // CSR offsets: edges leaving dense node v are outArc[outOff[v]:outOff[v+1]]
+	outArc  []int32
+	inOff   []int32 // CSR offsets of incoming edges
+	inArc   []int32
 	edges   []*road.Edge
 	tail    []int32 // per edge: dense From
 	head    []int32 // per edge: dense To
@@ -162,6 +201,18 @@ type Engine struct {
 	lmNodes []int32 // landmark node set (picked once, on the distance metric)
 	lmMu    sync.Mutex
 	lmCache map[lmKey]*landmarkTable
+
+	// Customizable contraction hierarchy (Algorithm == AlgCCH): the
+	// metric-independent contraction is built once on first use; customized
+	// weight tables are cached per (metric, bucket, cost version) like the
+	// ALT landmark tables, but re-fusions re-customize incrementally.
+	cchOnce    sync.Once
+	cchG       *cch
+	cchWMu     sync.Mutex
+	cchW       map[lmKey]*cchWeights
+	cchRetired []*cchWeights // superseded tables awaiting array recycling
+	cchPool    sync.Pool     // *cchScratch
+	lastCust   cchCustStats  // most recent customization's stats (tests, metrics)
 }
 
 // NewEngine indexes the network and prepares (but does not yet fill) the
@@ -174,6 +225,9 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 		return nil, errors.New("ecoroute: nil grade source")
 	}
 	cfg = cfg.withDefaults()
+	if _, err := ParseAlgorithm(cfg.Algorithm); err != nil {
+		return nil, err
+	}
 	for _, s := range cfg.SpeedsKmh {
 		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
 			return nil, fmt.Errorf("ecoroute: invalid cruise speed %v km/h", s)
@@ -187,6 +241,7 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 		idx:     make(map[int]int, len(net.Nodes)),
 		ids:     make([]int, len(net.Nodes)),
 		lmCache: make(map[lmKey]*landmarkTable),
+		cchW:    make(map[lmKey]*cchWeights),
 	}
 	for i, n := range net.Nodes {
 		if _, dup := e.idx[n.ID]; dup {
@@ -196,8 +251,6 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 		e.ids[i] = n.ID
 	}
 	nNodes := len(net.Nodes)
-	e.out = make([][]int32, nNodes)
-	e.in = make([][]int32, nNodes)
 	e.edges = make([]*road.Edge, len(net.Edges))
 	e.tail = make([]int32, len(net.Edges))
 	e.head = make([]int32, len(net.Edges))
@@ -221,13 +274,22 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 		edgeAt[ed] = int32(i)
 	}
 	// Adjacency comes from the network's own forward and reverse indices so
-	// the engine sees exactly the graph road.Network serves.
+	// the engine sees exactly the graph road.Network serves, flattened into
+	// CSR offset + edge-index arrays.
+	e.outOff = make([]int32, nNodes+1)
+	e.inOff = make([]int32, nNodes+1)
+	e.outArc = make([]int32, len(net.Edges))
+	e.inArc = make([]int32, len(net.Edges))
 	for dense, id := range e.ids {
+		e.outOff[dense+1] = e.outOff[dense]
 		for _, ed := range net.Outgoing(id) {
-			e.out[dense] = append(e.out[dense], edgeAt[ed])
+			e.outArc[e.outOff[dense+1]] = edgeAt[ed]
+			e.outOff[dense+1]++
 		}
+		e.inOff[dense+1] = e.inOff[dense]
 		for _, ed := range net.Incoming(id) {
-			e.in[dense] = append(e.in[dense], edgeAt[ed])
+			e.inArc[e.inOff[dense+1]] = edgeAt[ed]
+			e.inOff[dense+1]++
 		}
 	}
 	// Pair each edge with its opposite-direction sibling (same endpoints,
@@ -237,7 +299,9 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 		if e.sibling[i] >= 0 {
 			continue
 		}
-		for _, j := range e.out[e.head[i]] {
+		h := e.head[i]
+		for k := e.outOff[h]; k < e.outOff[h+1]; k++ {
+			j := e.outArc[k]
 			other := e.edges[j]
 			if other.From == ed.To && other.To == ed.From {
 				e.sibling[i] = j
@@ -261,6 +325,10 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 
 // Network returns the engine's road network.
 func (e *Engine) Network() *road.Network { return e.net }
+
+// Algorithm returns the configured point-query search algorithm (AlgALT or
+// AlgCCH) — surfaced so servers can label routing metrics by engine.
+func (e *Engine) Algorithm() string { return e.cfg.Algorithm }
 
 // SpeedsKmh returns the configured cruise-speed buckets.
 func (e *Engine) SpeedsKmh() []float64 {
@@ -363,9 +431,10 @@ func metricFor(obj Objective) Objective {
 	return obj
 }
 
-// Route answers a point-to-point query with bidirectional Dijkstra pruned by
-// ALT landmark lower bounds. The returned plan's Cost is bit-identical to
-// RouteDijkstra's for the same query.
+// Route answers a point-to-point query with the configured search — ALT
+// (bidirectional Dijkstra pruned by landmark lower bounds) or CCH (PQ-free
+// elimination-tree search over the contracted hierarchy). The returned plan's
+// Cost is bit-identical to RouteDijkstra's for the same query.
 func (e *Engine) Route(obj Objective, speedKmh float64, from, to int) (Plan, error) {
 	return e.route(obj, speedKmh, from, to, true)
 }
@@ -399,10 +468,13 @@ func (e *Engine) route(obj Objective, speedKmh float64, from, to int, fast bool)
 	}
 	cost := e.costRow(metricFor(obj), bucket, tb)
 	var path []int32
-	if fast {
+	switch {
+	case fast && e.cfg.Algorithm == AlgCCH:
+		path, ok = e.searchCCH(metricFor(obj), bucket, tb, int32(s), int32(t))
+	case fast:
 		lm := e.landmarksFor(metricFor(obj), bucket, tb)
 		path, ok = e.searchBidirectional(cost, lm, int32(s), int32(t))
-	} else {
+	default:
 		path, ok = e.searchDijkstra(cost, int32(s), int32(t))
 	}
 	if !ok {

@@ -1,6 +1,7 @@
 package ecoroute
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,11 +12,20 @@ import (
 
 // Matrix answers a batched many-to-many query: the cost from every source to
 // every target under the objective, as a [len(sources)][len(targets)] grid
-// (+Inf where no path exists). Each source runs one one-to-all search that
-// stops once all targets settle; sources fan out across a bounded worker
-// pool (the experiment suite's parallelFor pattern: indices are independent,
-// randomness-free, and the first error aborts the remaining work).
+// (+Inf where no path exists). See MatrixCtx for the search strategy.
 func (e *Engine) Matrix(obj Objective, speedKmh float64, sources, targets []int) ([][]float64, error) {
+	return e.MatrixCtx(context.Background(), obj, speedKmh, sources, targets)
+}
+
+// MatrixCtx is Matrix with cancellation: work stops (and ctx.Err() is
+// returned) as soon as the context is done, so an abandoned HTTP request
+// doesn't keep burning CPU on a grid nobody will read. Under AlgALT each
+// source runs one one-to-all search that stops once all targets settle, with
+// sources fanned out across a bounded worker pool (the experiment suite's
+// parallelFor pattern); cancellation is checked before each source. Under
+// AlgCCH the grid runs bucket sweeps over the customized hierarchy
+// (cchMatrix), checked per endpoint.
+func (e *Engine) MatrixCtx(ctx context.Context, obj Objective, speedKmh float64, sources, targets []int) ([][]float64, error) {
 	bucket, err := e.bucketFor(speedKmh)
 	if err != nil {
 		return nil, err
@@ -48,15 +58,21 @@ func (e *Engine) Matrix(obj Objective, speedKmh float64, sources, targets []int)
 		denseS[i] = int32(d)
 	}
 
-	out := make([][]float64, len(sources))
 	scale := 1.0
 	if obj == CO2 {
 		// The search runs on the fuel row; scale the reported costs.
 		scale = fuel.CO2GramsPerGallon
 	}
+	if e.cfg.Algorithm == AlgCCH {
+		return e.cchMatrix(metricFor(obj), bucket, tb, denseS, denseT, scale, ctx.Err)
+	}
+	out := make([][]float64, len(sources))
 	err = parallelFor(len(sources), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		dist := make([]float64, len(e.ids))
-		oneToAll(e.out, e.head, cost, denseS[i], dist, targetSet)
+		oneToAll(e.outOff, e.outArc, e.head, cost, denseS[i], dist, targetSet)
 		row := make([]float64, len(denseT))
 		for j, t := range denseT {
 			if math.IsInf(dist[t], 1) {

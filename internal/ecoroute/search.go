@@ -53,7 +53,8 @@ func (e *Engine) searchDijkstra(cost []float64, s, t int32) ([]int32, bool) {
 			break
 		}
 		du := dist[u]
-		for _, ei := range e.out[u] {
+		for k := e.outOff[u]; k < e.outOff[u+1]; k++ {
+			ei := e.outArc[k]
 			v := e.head[ei]
 			if done[v] {
 				continue
@@ -89,12 +90,12 @@ func unwindForward(tail []int32, prev []int32, s, t int32) []int32 {
 	return path
 }
 
-// oneToAll runs Dijkstra from src over the given adjacency until the queue
-// drains (or, when remain is non-nil, until every flagged target settles),
-// writing distances into dist. adj/endpoint select the direction: (out,
-// head) searches forward from src, (in, tail) searches the reverse graph,
-// i.e. distances TO src.
-func oneToAll(adj [][]int32, endpoint []int32, cost []float64, src int32, dist []float64, remain map[int32]bool) {
+// oneToAll runs Dijkstra from src over the given CSR adjacency until the
+// queue drains (or, when remain is non-nil, until every flagged target
+// settles), writing distances into dist. (off, arcs)/endpoint select the
+// direction: (outOff, outArc, head) searches forward from src, (inOff,
+// inArc, tail) searches the reverse graph, i.e. distances TO src.
+func oneToAll(off, arcs, endpoint []int32, cost []float64, src int32, dist []float64, remain map[int32]bool) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
@@ -115,7 +116,8 @@ func oneToAll(adj [][]int32, endpoint []int32, cost []float64, src int32, dist [
 			}
 		}
 		du := dist[u]
-		for _, ei := range adj[u] {
+		for k := off[u]; k < off[u+1]; k++ {
+			ei := arcs[k]
 			v := endpoint[ei]
 			if done[v] {
 				continue
@@ -196,7 +198,7 @@ func (e *Engine) pickLandmarks() []int32 {
 	cur := int32(0)
 	for len(picked) < k {
 		picked = append(picked, cur)
-		oneToAll(e.out, e.head, e.lengthM, cur, dist, nil)
+		oneToAll(e.outOff, e.outArc, e.head, e.lengthM, cur, dist, nil)
 		next, nextD := int32(-1), -1.0
 		for v := 0; v < n; v++ {
 			if dist[v] < minDist[v] {
@@ -242,8 +244,8 @@ func (e *Engine) landmarksFor(metric Objective, bucket int, tb *tables) *landmar
 	for i, L := range nodes {
 		lt.from[i] = make([]float64, len(e.ids))
 		lt.to[i] = make([]float64, len(e.ids))
-		oneToAll(e.out, e.head, cost, L, lt.from[i], nil)
-		oneToAll(e.in, e.tail, cost, L, lt.to[i], nil)
+		oneToAll(e.outOff, e.outArc, e.head, cost, L, lt.from[i], nil)
+		oneToAll(e.inOff, e.inArc, e.tail, cost, L, lt.to[i], nil)
 	}
 	obsLandmarkRuns.Inc()
 	// Drop superseded fuel tables for this bucket so re-fusions don't
@@ -300,7 +302,8 @@ func (e *Engine) searchBidirectional(cost []float64, lm *landmarkTable, s, t int
 
 	relaxF := func(u int32) {
 		du := df[u]
-		for _, ei := range e.out[u] {
+		for k := e.outOff[u]; k < e.outOff[u+1]; k++ {
+			ei := e.outArc[k]
 			v := e.head[ei]
 			nd := du + cost[ei]
 			if nd < df[v] {
@@ -319,7 +322,8 @@ func (e *Engine) searchBidirectional(cost []float64, lm *landmarkTable, s, t int
 	}
 	relaxB := func(u int32) {
 		du := db[u]
-		for _, ei := range e.in[u] {
+		for k := e.inOff[u]; k < e.inOff[u+1]; k++ {
+			ei := e.inArc[k]
 			v := e.tail[ei]
 			nd := du + cost[ei]
 			if nd < db[v] {

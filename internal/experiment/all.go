@@ -43,6 +43,7 @@ func Registry() map[string]Runner {
 		"journey":      Journey,
 		"routing":      Routing,
 		"ecoroutes":    EcoRoutes,
+		"routescale":   RouteScale,
 	}
 }
 
@@ -76,7 +77,8 @@ func Run(name string, opt Options) (Table, error) {
 // determinism contract CI diffs against; they run only when requested by
 // name with -exp.
 var measured = map[string]bool{
-	"obssweep": true,
+	"obssweep":   true,
+	"routescale": true,
 }
 
 // All runs every registered experiment in stable order, skipping

@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		// Extension studies.
 		"misalignment", "multivehicle", "ablation", "robustness", "robustsweep",
 		"poisonsweep", "speedsweep", "obssweep",
-		"journey", "routing", "ecoroutes",
+		"journey", "routing", "ecoroutes", "routescale",
 	}
 	reg := Registry()
 	for _, name := range want {

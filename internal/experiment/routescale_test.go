@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRouteScale checks the engine-comparison invariants on the quick
+// workload: one alt and one cch row per scale, and the cch post-tick column
+// must prove the re-customization was incremental (a/b with a < b).
+func TestRouteScale(t *testing.T) {
+	tb, err := RouteScale(quickOpt)
+	if err != nil {
+		t.Fatalf("RouteScale: %v", err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("quick run produced %d rows, want 2", len(tb.Rows))
+	}
+	if eng := tb.Rows[0][3]; eng != "alt" {
+		t.Fatalf("first row engine = %q, want alt", eng)
+	}
+	if eng := tb.Rows[1][3]; eng != "cch" {
+		t.Fatalf("second row engine = %q, want cch", eng)
+	}
+	if arcs := tb.Rows[0][8]; arcs != "-" {
+		t.Fatalf("alt arcs column = %q, want -", arcs)
+	}
+	arcs := tb.Rows[1][8]
+	frac := strings.Split(arcs, "/")
+	if len(frac) != 2 || frac[0] == frac[1] {
+		t.Fatalf("cch tick was not incremental: arcs recomputed = %q", arcs)
+	}
+}

@@ -24,44 +24,107 @@ type Edge struct {
 
 // Network is a road graph standing in for the city road network of
 // Figure 7(a). Edges are directed; the generator adds both directions for
-// every street.
+// every street. Adjacency is CSR: all edges leaving (entering) a node sit in
+// one contiguous slice of a single flat array, so Outgoing/Incoming return
+// subslices without chasing a per-node heap allocation — on country-scale
+// graphs (10⁵–10⁶ edges) the flat layout keeps graph searches cache-resident
+// where the old map[int][]*Edge layout missed on every node.
 type Network struct {
 	Nodes []Node
 	Edges []*Edge
-	adj   map[int][]*Edge
-	radj  map[int][]*Edge
+
+	idx      map[int]int32 // node ID → position in Nodes (sparse-ID fallback)
+	dense    bool          // node IDs equal slice positions; skip the map
+	outOff   []int32       // CSR offsets into outEdges, len(Nodes)+1
+	outEdges []*Edge       // edges grouped by From, insertion order within a node
+	inOff    []int32       // CSR offsets into inEdges
+	inEdges  []*Edge       // edges grouped by To, insertion order within a node
 }
 
-// NewNetwork assembles a network and builds the forward and reverse
-// adjacency indices.
+// pos maps a node ID to its position in Nodes, -1 if unknown. Generated
+// networks number nodes 0..n-1 in slice order, so the common case is a bounds
+// check instead of a map probe — that, plus the flat CSR arrays, is what makes
+// an adjacency sweep cheaper than the legacy map[int][]*Edge layout.
+func (n *Network) pos(id int) int32 {
+	if n.dense {
+		if id < 0 || id >= len(n.Nodes) {
+			return -1
+		}
+		return int32(id)
+	}
+	i, ok := n.idx[id]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// NewNetwork assembles a network and builds the forward and reverse CSR
+// adjacency indices. Per-node edge order is the edge-slice insertion order,
+// so the same input always yields the same adjacency (see GenerateNetwork's
+// determinism contract).
 func NewNetwork(nodes []Node, edges []*Edge) (*Network, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("road: network needs nodes")
 	}
-	n := &Network{Nodes: nodes, Edges: edges, adj: make(map[int][]*Edge), radj: make(map[int][]*Edge)}
-	valid := make(map[int]bool, len(nodes))
-	for _, node := range nodes {
-		if valid[node.ID] {
+	n := &Network{Nodes: nodes, Edges: edges, idx: make(map[int]int32, len(nodes)), dense: true}
+	for i, node := range nodes {
+		if _, dup := n.idx[node.ID]; dup {
 			return nil, fmt.Errorf("road: duplicate node id %d", node.ID)
 		}
-		valid[node.ID] = true
+		n.idx[node.ID] = int32(i)
+		if node.ID != i {
+			n.dense = false
+		}
 	}
+	n.outOff = make([]int32, len(nodes)+1)
+	n.inOff = make([]int32, len(nodes)+1)
 	for _, e := range edges {
-		if !valid[e.From] || !valid[e.To] {
+		from, okF := n.idx[e.From]
+		to, okT := n.idx[e.To]
+		if !okF || !okT {
 			return nil, fmt.Errorf("road: edge %s references unknown node %d->%d", e.Road.ID(), e.From, e.To)
 		}
-		n.adj[e.From] = append(n.adj[e.From], e)
-		n.radj[e.To] = append(n.radj[e.To], e)
+		n.outOff[from+1]++
+		n.inOff[to+1]++
+	}
+	for i := 0; i < len(nodes); i++ {
+		n.outOff[i+1] += n.outOff[i]
+		n.inOff[i+1] += n.inOff[i]
+	}
+	n.outEdges = make([]*Edge, len(edges))
+	n.inEdges = make([]*Edge, len(edges))
+	outCur := make([]int32, len(nodes))
+	inCur := make([]int32, len(nodes))
+	for _, e := range edges {
+		from, to := n.idx[e.From], n.idx[e.To]
+		n.outEdges[n.outOff[from]+outCur[from]] = e
+		outCur[from]++
+		n.inEdges[n.inOff[to]+inCur[to]] = e
+		inCur[to]++
 	}
 	return n, nil
 }
 
-// Outgoing returns the edges leaving node id.
-func (n *Network) Outgoing(id int) []*Edge { return n.adj[id] }
+// Outgoing returns the edges leaving node id (a shared CSR subslice — do not
+// mutate).
+func (n *Network) Outgoing(id int) []*Edge {
+	i := n.pos(id)
+	if i < 0 {
+		return nil
+	}
+	return n.outEdges[n.outOff[i]:n.outOff[i+1]]
+}
 
 // Incoming returns the edges entering node id — the reverse adjacency used
 // by backward graph searches (e.g. the bidirectional eco-router).
-func (n *Network) Incoming(id int) []*Edge { return n.radj[id] }
+func (n *Network) Incoming(id int) []*Edge {
+	i := n.pos(id)
+	if i < 0 {
+		return nil
+	}
+	return n.inEdges[n.inOff[i]:n.inOff[i+1]]
+}
 
 // TotalLengthM returns the summed length of all directed edges divided by
 // two (each street appears in both directions), i.e. the street length.
@@ -109,6 +172,16 @@ func (c NetworkConfig) withDefaults(seed int64) NetworkConfig {
 // total street length approximates cfg.TargetStreetKM. The layout is a
 // jittered grid with some diagonal connectors; profiles come from the
 // terrain field; classes are assigned so arterials form through-streets.
+//
+// Determinism contract: the same (seed, cfg) pair always yields byte-
+// identical output — the same node slice order, node IDs and positions, the
+// same edge slice order, and the same per-road IDs, geometry and profiles —
+// at every scale, from the 164.8 km city to country-size 10⁵–10⁶-edge
+// graphs. Everything derives from one sequentially-consumed rand source and
+// index-ordered loops (no map iteration), which is what makes BENCH_PR9-
+// style cross-run comparisons and the CCH node ordering reproducible.
+// Construction streams: node and edge storage is preallocated from the grid
+// dimensions and every pass is linear in the street count.
 func GenerateNetwork(seed int64, cfg NetworkConfig) (*Network, error) {
 	cfg = cfg.withDefaults(seed)
 	rng := rand.New(rand.NewSource(seed))
@@ -126,7 +199,7 @@ func GenerateNetwork(seed int64, cfg NetworkConfig) (*Network, error) {
 		w--
 	}
 
-	var nodes []Node
+	nodes := make([]Node, 0, w*h)
 	idAt := func(ix, iy int) int { return iy*w + ix }
 	for iy := 0; iy < h; iy++ {
 		for ix := 0; ix < w; ix++ {
@@ -139,7 +212,8 @@ func GenerateNetwork(seed int64, cfg NetworkConfig) (*Network, error) {
 		}
 	}
 
-	var edges []*Edge
+	// Both directions of every grid street plus ~6% diagonals.
+	edges := make([]*Edge, 0, 2*(w*(h-1)+h*(w-1))+w*h/8)
 	var builtM float64
 	addStreet := func(a, b Node) error {
 		if builtM >= targetM {
@@ -252,4 +326,21 @@ func interpolateQuadratic(a, ctrl, b geo.ENU, n int) []geo.ENU {
 // 164.8 km experiment network (see DESIGN.md substitutions).
 func Charlottesville() (*Network, error) {
 	return GenerateNetwork(1827, NetworkConfig{TargetStreetKM: 164.8})
+}
+
+// CountryConfig scales the Charlottesville-shaped generator to scale× the
+// paper's 164.8 km street length. Large scales shrink the block size toward
+// 300 m (denser junctions, like a national network's town cores) so the
+// 100× config lands at ~10⁵ directed edges — the country-scale routing
+// setting of DESIGN.md §13. The output stays deterministic per seed at any
+// scale (see GenerateNetwork).
+func CountryConfig(scale float64) NetworkConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	cfg := NetworkConfig{TargetStreetKM: 164.8 * scale}
+	if scale >= 25 {
+		cfg.BlockM = 300
+	}
+	return cfg
 }

@@ -16,11 +16,15 @@
 #   - the traced-ingest benchmarks — the mixed ingest path with tracing off,
 #     1% head-sampled, and fully sampled, interleaved round-robin and
 #     reduced to per-benchmark medians; Full vs Off is the observability
-#     overhead claim (PR 8 baseline).
+#     overhead claim (PR 8 baseline), and
+#   - the routescale benchmarks — ALT vs CCH point queries at 1×/10×/100×
+#     the paper's network, the full vs incremental customization pair, the
+#     many-to-many matrices, and the road CSR-vs-map adjacency sweep
+#     (PR 9 baseline; the 100× fixtures make this the slowest family).
 #
-# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json]
+# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json] [pr9.json]
 #   (defaults BENCH_PR1.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json,
-#   BENCH_PR7.json, BENCH_PR8.json)
+#   BENCH_PR7.json, BENCH_PR8.json, BENCH_PR9.json)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,6 +34,7 @@ out5="${3:-BENCH_PR5.json}"
 out6="${4:-BENCH_PR6.json}"
 out7="${5:-BENCH_PR7.json}"
 out8="${6:-BENCH_PR8.json}"
+out9="${7:-BENCH_PR9.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -140,3 +145,12 @@ median_rounds "$tmp" >"$obsdir/median.txt"
 emit_json "$obsdir/median.txt" >"$out8"
 echo "wrote $out8:"
 cat "$out8"
+
+# The routescale family builds the 10× and 100× country networks and both
+# engines' preprocessed structures once per process, then times queries and
+# customizations; the one-time fixtures dominate the wall clock, hence the
+# long -timeout.
+go test -run '^$' -bench 'BenchmarkRouteScale' -benchmem -timeout 30m ./internal/ecoroute ./internal/road >"$tmp"
+emit_json "$tmp" >"$out9"
+echo "wrote $out9:"
+cat "$out9"

@@ -38,6 +38,14 @@ echo "== go test -race (robust fusion / device trust gate) =="
 # a determinism or locking regression fails with a focused report.
 go test -race -count=1 -run 'TestRobust|TestDevice' ./internal/fusion ./internal/cloud
 
+echo "== go test -race (contraction / customization gate) =="
+# The CCH splits work across one-time contraction, per-metric customization
+# (copy-on-write weight tables with refcounted recycling behind cchWMu), and
+# lock-free query reads; the road CSR build feeds the node ordering. Run the
+# CCH and determinism tests uncached and concurrently so a torn weight table
+# or a non-deterministic ordering fails with a focused report.
+go test -race -count=1 -run 'TestCCH|TestMatrixCtx|Deterministic|TestNetworkCSR' ./internal/ecoroute ./internal/road
+
 echo "== go test -race (observability gate) =="
 # The tracer ring, the tail-sampling trace store (late-span merge, linked-in
 # fold spans), the SLO engine, and the traced ingest path (traceparent
