@@ -17,6 +17,8 @@
 //	GET  /v1/devices/{id}          per-device trust state (reputation, learned
 //	                               bias) under a robust -fusion-policy
 //	GET  /v1/route                 eco-routing over the fused map (needs -route-km)
+//	GET  /v1/emissions             city-wide per-road pollutant intensity table
+//	                               over the fused map (needs -route-km -emissions)
 //	GET  /v1/debug/traces          tail-sampled trace directory; ?id= renders
 //	                               one trace as Chrome trace_event JSON
 //	                               (needs -trace-sample > 0)
@@ -164,6 +166,7 @@ func run() error {
 	routeKM := flag.Float64("route-km", 0, "enable GET /v1/route over a generated network of this many street-km (0 disables; 164.8 is the paper's area)")
 	routeSeed := flag.Int64("route-seed", 1827, "network generator seed for -route-km")
 	routeEngine := flag.String("route-engine", "alt", "routing search engine: alt (landmark A*) | cch (contraction hierarchy; pays a one-time contraction, then answers country-scale queries in sub-ms)")
+	emissions := flag.Bool("emissions", false, "enable GET /v1/emissions (city-wide per-road pollutant table over the fused map; needs -route-km)")
 	coalesce := flag.Bool("coalesce", true, "batched submits fold through per-shard write coalescing with admission control")
 	queueDepth := flag.Int("queue-depth", 1024, "coalescer queue depth per shard (backpressure threshold)")
 	batchMax := flag.Int("batch-max", 256, "max submissions folded per shard-lock acquisition")
@@ -219,6 +222,14 @@ func run() error {
 		}
 		fusionSrv.EnableRouting(eng)
 		logger.Info("routing enabled", "engine", alg, "street_km", net.TotalLengthM()/1000, "nodes", len(net.Nodes), "edges", len(net.Edges))
+		if *emissions {
+			if err := fusionSrv.EnableEmissions(net); err != nil {
+				return fmt.Errorf("enabling emissions: %w", err)
+			}
+			logger.Info("emission maps enabled", "roads", len(net.Edges))
+		}
+	} else if *emissions {
+		return errors.New("-emissions needs -route-km (the emission table is computed over the routing network)")
 	}
 	if *traceSample > 0 {
 		fusionSrv.EnableTracing(obs.StoreConfig{Capacity: *traceBuffer})

@@ -88,15 +88,16 @@ type config struct {
 	// -route-seed. In-process runs enable routing on the server themselves
 	// (-route-engine picks alt or cch); remote runs require the target
 	// cloudfuse to be started with the same -route-km/-route-seed.
-	routeFrac   float64
-	routeKM     float64
-	routeSeed   int64
-	routeEngine string
-	duration    time.Duration // measure for a fixed wall time instead
-	seed        int64
-	conns       int // transport MaxIdleConnsPerHost (0: clients)
-	shards      int // in-process server shard count
-	retries     int // client attempt budget (1 = no retries, measure the server)
+	routeFrac      float64
+	routeKM        float64
+	routeSeed      int64
+	routeEngine    string
+	routeObjective string        // objective the route mix queries (fuel, nox, ...)
+	duration       time.Duration // measure for a fixed wall time instead
+	seed           int64
+	conns          int // transport MaxIdleConnsPerHost (0: clients)
+	shards         int // in-process server shard count
+	retries        int // client attempt budget (1 = no retries, measure the server)
 
 	// Fleet mode (see fleet.go).
 	fleet      bool
@@ -134,6 +135,7 @@ func parseFlags(args []string) (config, bool, error) {
 	fs.Float64Var(&cfg.routeKM, "route-km", 0, "street-km of the routing network backing -route-frac (must match the server's for -addr)")
 	fs.Int64Var(&cfg.routeSeed, "route-seed", 1827, "routing network generator seed (must match the server's for -addr)")
 	fs.StringVar(&cfg.routeEngine, "route-engine", "alt", "in-process routing search engine: alt | cch")
+	fs.StringVar(&cfg.routeObjective, "route-objective", "fuel", "objective the route mix queries (distance | time | fuel | co2 | nox | co | hc | pm)")
 	fs.IntVar(&cfg.conns, "conns", 0, "transport MaxIdleConnsPerHost (0: match -clients)")
 	fs.IntVar(&cfg.shards, "shards", 0, "in-process server shards (0: default)")
 	fs.IntVar(&cfg.retries, "retries", 1, "client attempt budget (1 disables retries so latency is the server's)")
@@ -168,7 +170,7 @@ func parseFlags(args []string) (config, bool, error) {
 // addr, metrics) are fine in either mode.
 var (
 	fleetOnlyFlags    = []string{"phones", "rounds", "batch", "binary", "gzip", "mix", "stagger", "queue-depth", "batch-max", "bad-frac", "bad-class", "fusion-policy"}
-	perOpHarnessFlags = []string{"read-frac", "ops", "prefill", "duration", "route-frac", "route-km", "route-seed", "route-engine"}
+	perOpHarnessFlags = []string{"read-frac", "ops", "prefill", "duration", "route-frac", "route-km", "route-seed", "route-engine", "route-objective"}
 )
 
 // checkFlagConflicts rejects flag combinations that would silently do
@@ -234,7 +236,7 @@ func (r *report) String() string {
 		r.Ops, r.Errors, r.Wall.Round(time.Millisecond), r.Throughput,
 		f(r.Fetch), f(r.Submit))
 	if r.Config.routeFrac > 0 {
-		out += fmt.Sprintf("  route       %s  [%s engine]\n", f(r.Route), r.Config.routeEngine)
+		out += fmt.Sprintf("  route       %s  [%s engine, %s objective]\n", f(r.Route), r.Config.routeEngine, r.Config.routeObjective)
 	}
 	return out + r.Obs.String()
 }
@@ -255,6 +257,12 @@ func (cfg *config) validate() error {
 	}
 	if cfg.routeFrac > 0 && cfg.routeKM <= 0 {
 		return errors.New("-route-frac needs -route-km > 0")
+	}
+	if cfg.routeObjective == "" {
+		cfg.routeObjective = "fuel"
+	}
+	if _, err := ecoroute.ParseObjective(cfg.routeObjective); err != nil {
+		return fmt.Errorf("-route-objective: %w", err)
 	}
 	if cfg.ops < 1 && cfg.duration <= 0 {
 		return errors.New("need -ops >= 1 or -duration > 0")
@@ -530,7 +538,7 @@ func run(cfg config) (*report, error) {
 					from := routeNet.Nodes[rng.Intn(len(routeNet.Nodes))].ID
 					to := routeNet.Nodes[rng.Intn(len(routeNet.Nodes))].ID
 					t0 := time.Now()
-					_, err = c.Route(ctx, from, to, "fuel", 40)
+					_, err = c.Route(ctx, from, to, cfg.routeObjective, 40)
 					routeHist.Observe(time.Since(t0).Seconds())
 				default:
 					p := makeProfile(rng, cfg.cells)

@@ -76,6 +76,7 @@ func TestConfigValidation(t *testing.T) {
 		{clients: 0, roads: 1, cells: 1, ops: 1},
 		{clients: 1, roads: 1, cells: 1, ops: 0},
 		{clients: 1, roads: 1, cells: 1, ops: 10, readFrac: 1.5},
+		{clients: 1, roads: 1, cells: 1, ops: 10, routeObjective: "scenic"},
 	}
 	for i, cfg := range bad {
 		if err := cfg.validate(); err == nil {
@@ -88,6 +89,13 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if ok.conns != 2 {
 		t.Errorf("conns default = %d, want clients (2)", ok.conns)
+	}
+	if ok.routeObjective != "fuel" {
+		t.Errorf("route objective default = %q, want fuel", ok.routeObjective)
+	}
+	nox := config{clients: 1, roads: 1, cells: 1, ops: 10, routeObjective: "nox"}
+	if err := nox.validate(); err != nil {
+		t.Errorf("nox route objective rejected: %v", err)
 	}
 }
 

@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"roadgrade/internal/ecoroute"
+	"roadgrade/internal/emission"
 	"roadgrade/internal/road"
 )
 
@@ -32,11 +34,28 @@ func main() {
 	}
 }
 
+// objectiveListText renders the valid -objective values, one per line, in
+// the engine's canonical order.
+func objectiveListText() string {
+	names := make([]string, 0, len(ecoroute.Objectives()))
+	for _, o := range ecoroute.Objectives() {
+		names = append(names, o.String())
+	}
+	return strings.Join(names, "\n")
+}
+
+// unknownObjectiveError builds the error for an unrecognized -objective
+// value: the message carries every valid objective, so the CLI exits
+// non-zero with the full catalogue (mirrors gradebench's unknown -exp).
+func unknownObjectiveError(name string) error {
+	return fmt.Errorf("unknown objective %q; valid objectives:\n%s", name, objectiveListText())
+}
+
 func run() error {
 	seed := flag.Int64("seed", 1827, "network generator seed (1827 = the Charlottesville-scale network)")
 	km := flag.Float64("km", 164.8, "target street length of the generated network (km)")
 	speed := flag.Float64("speed", 40, "cruise speed (km/h), snapped to the engine's buckets")
-	objective := flag.String("objective", "fuel", "routing objective: distance | time | fuel | co2")
+	objective := flag.String("objective", "fuel", "routing objective: distance | time | fuel | co2 | nox | co | hc | pm")
 	from := flag.Int("from", -1, "origin node id (with -to: single-query mode)")
 	to := flag.Int("to", -1, "destination node id")
 	pairs := flag.Int("pairs", 0, "sample this many random O/D pairs and report planner means")
@@ -49,7 +68,7 @@ func run() error {
 	}
 	obj, err := ecoroute.ParseObjective(*objective)
 	if err != nil {
-		return err
+		return unknownObjectiveError(*objective)
 	}
 	alg, err := ecoroute.ParseAlgorithm(*engine)
 	if err != nil {
@@ -75,7 +94,9 @@ func run() error {
 }
 
 // singleQuery answers one O/D query under every objective so the outputs can
-// be compared side by side.
+// be compared side by side. Pollutant grams are filled for every plan (not
+// just the pollutant objectives' own) so the table shows what a min-fuel
+// route costs in NOx and vice versa.
 func singleQuery(eng *ecoroute.Engine, speed float64, from, to int, format string) error {
 	plans := make([]ecoroute.Plan, 0, len(ecoroute.Objectives()))
 	for _, obj := range ecoroute.Objectives() {
@@ -83,16 +104,22 @@ func singleQuery(eng *ecoroute.Engine, speed float64, from, to int, format strin
 		if err != nil {
 			return err
 		}
+		if p.EmisG == (emission.Grams{}) {
+			if p.EmisG, err = eng.PlanEmissions(p); err != nil {
+				return err
+			}
+		}
 		plans = append(plans, p)
 	}
 	if format == "json" {
 		return json.NewEncoder(os.Stdout).Encode(plans)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "objective\troads\tlength (km)\ttime (s)\tfuel (gal)\tCO2 (kg)")
+	fmt.Fprintln(w, "objective\troads\tlength (km)\ttime (s)\tfuel (gal)\tCO2 (kg)\tCO (g)\tNOx (g)\tHC (g)\tPM2.5 (g)")
 	for _, p := range plans {
-		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.1f\t%.4f\t%.3f\n",
-			p.Objective, len(p.RoadIDs), p.LengthM/1000, p.TimeS, p.FuelGal, p.CO2G/1000)
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.1f\t%.4f\t%.3f\t%.2f\t%.3f\t%.3f\t%.4f\n",
+			p.Objective, len(p.RoadIDs), p.LengthM/1000, p.TimeS, p.FuelGal, p.CO2G/1000,
+			p.EmisG[emission.CO], p.EmisG[emission.NOx], p.EmisG[emission.HC], p.EmisG[emission.PM25])
 	}
 	return w.Flush()
 }
@@ -105,6 +132,7 @@ type panelRow struct {
 	MeanTimeS   float64 `json:"mean_time_s"`
 	MeanFuelGal float64 `json:"mean_fuel_gal"`
 	MeanCO2G    float64 `json:"mean_co2_g"`
+	MeanNOxG    float64 `json:"mean_nox_g"`
 }
 
 // panelQuery samples random connected O/D pairs and reports per-planner
@@ -141,22 +169,30 @@ func panelQuery(eng *ecoroute.Engine, net *road.Network, obj ecoroute.Objective,
 			row.MeanTimeS += plan.TimeS
 			row.MeanFuelGal += plan.FuelGal
 			row.MeanCO2G += plan.CO2G
+			g := plan.EmisG
+			if g == (emission.Grams{}) {
+				if g, err = eng.PlanEmissions(plan); err != nil {
+					return err
+				}
+			}
+			row.MeanNOxG += g[emission.NOx]
 		}
 		k := float64(len(sample))
 		row.MeanLengthM /= k
 		row.MeanTimeS /= k
 		row.MeanFuelGal /= k
 		row.MeanCO2G /= k
+		row.MeanNOxG /= k
 		rows = append(rows, row)
 	}
 	if format == "json" {
 		return json.NewEncoder(os.Stdout).Encode(rows)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "planner\tpairs\tmean length (km)\tmean time (s)\tmean fuel (gal)\tmean CO2 (kg)")
+	fmt.Fprintln(w, "planner\tpairs\tmean length (km)\tmean time (s)\tmean fuel (gal)\tmean CO2 (kg)\tmean NOx (g)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.1f\t%.4f\t%.3f\n",
-			r.Objective, r.Pairs, r.MeanLengthM/1000, r.MeanTimeS, r.MeanFuelGal, r.MeanCO2G/1000)
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.1f\t%.4f\t%.3f\t%.3f\n",
+			r.Objective, r.Pairs, r.MeanLengthM/1000, r.MeanTimeS, r.MeanFuelGal, r.MeanCO2G/1000, r.MeanNOxG)
 	}
 	return w.Flush()
 }

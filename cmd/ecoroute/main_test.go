@@ -3,11 +3,44 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
 	"roadgrade/internal/ecoroute"
 	"roadgrade/internal/road"
 )
+
+// TestUnknownObjectiveError: an unrecognized -objective must produce an error
+// (the CLI exits non-zero on any run() error) whose message carries every
+// valid objective — the same catalogue the engine's parser accepts.
+func TestUnknownObjectiveError(t *testing.T) {
+	err := unknownObjectiveError("scenic")
+	if err == nil {
+		t.Fatal("expected an error for an unknown objective")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"scenic"`) {
+		t.Errorf("message does not name the bad objective: %q", msg)
+	}
+	objs := ecoroute.Objectives()
+	if len(objs) < 8 {
+		t.Fatalf("only %d objectives registered", len(objs))
+	}
+	for _, o := range objs {
+		if !strings.Contains(msg, o.String()) {
+			t.Errorf("message lacks valid objective %q: %q", o.String(), msg)
+		}
+	}
+	if !strings.HasSuffix(msg, objectiveListText()) {
+		t.Errorf("error does not end with the objective listing: %q", msg)
+	}
+	// Every listed objective must round-trip through the parser.
+	for _, line := range strings.Split(objectiveListText(), "\n") {
+		if _, err := ecoroute.ParseObjective(line); err != nil {
+			t.Errorf("listed objective %q does not parse: %v", line, err)
+		}
+	}
+}
 
 func testEngine(t *testing.T) (*ecoroute.Engine, *road.Network) {
 	t.Helper()

@@ -467,6 +467,38 @@ func (c *Client) Route(ctx context.Context, from, to int, objective string, spee
 	return dto, nil
 }
 
+// FetchEmissions asks GET /v1/emissions for the city-wide per-road emission
+// table of one vehicle class ("" = car) at a cruise speed (0 = the server
+// default). The server must have emissions enabled.
+func (c *Client) FetchEmissions(ctx context.Context, vehicle string, speedKmh float64) (EmissionTableDTO, error) {
+	ctx, root := c.startRoot(ctx, "client:emissions", obs.L("vehicle", vehicle))
+	defer root.End()
+	url := c.base + "/v1/emissions"
+	sep := "?"
+	if vehicle != "" {
+		url += sep + "vehicle=" + vehicle
+		sep = "&"
+	}
+	if speedKmh > 0 {
+		url += fmt.Sprintf("%sspeed_kmh=%g", sep, speedKmh)
+	}
+	var dto EmissionTableDTO
+	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	})
+	if err != nil {
+		return dto, fmt.Errorf("cloud: fetching emissions: %w", err)
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return dto, fmt.Errorf("cloud: emissions fetch failed: %s", readError(resp))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBodyBytes)).Decode(&dto); err != nil {
+		return dto, fmt.Errorf("cloud: decoding emissions: %w", err)
+	}
+	return dto, nil
+}
+
 // ListRoads fetches the submission summary.
 func (c *Client) ListRoads(ctx context.Context) ([]RoadStatus, error) {
 	resp, err := c.do(ctx, func(ctx context.Context) (*http.Request, error) {

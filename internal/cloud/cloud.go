@@ -131,6 +131,10 @@ type Server struct {
 	router       *ecoroute.Engine
 	routeQueries *obs.Counter
 
+	// emis, when set via EnableEmissions, serves GET /v1/emissions: the
+	// generation-cached city-wide per-road emission table (emissions.go).
+	emis *emissions
+
 	// MaxSubmissionsPerRoad bounds memory; once reached, the oldest
 	// submission is dropped (the fused result keeps improving from fresh
 	// data). Default 64. The value is captured per road at its first
@@ -428,6 +432,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/roads/{id}/profile", s.instrument(routeFused, s.handleFused))
 	mux.Handle("GET /v1/roads", s.instrument(routeList, s.handleList))
 	mux.Handle("GET /v1/route", s.instrument(routeRoute, s.handleRoute))
+	mux.Handle("GET /v1/emissions", s.instrument(routeEmis, s.handleEmissions))
 	mux.Handle("GET /v1/devices/{id}", s.instrument(routeDevice, s.handleDevice))
 	mux.Handle("GET /v1/debug/traces", s.instrument(routeTraces, s.handleTraces))
 	return RequestID(mux)

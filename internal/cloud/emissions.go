@@ -1,0 +1,275 @@
+package cloud
+
+// The city emission map endpoint — the paper's Fig. 10(b) extended to the
+// operating-mode pollutants:
+//
+//	GET /v1/emissions?vehicle=<car|truck|bus>&speed_kmh=<v>
+//
+// serves a per-road, per-pollutant emission intensity table (grams per km
+// per vehicle) computed from the crowd-fused gradient map. Tables are
+// generation-cached: an unchanged store serves pre-encoded JSON bytes, and
+// a store that moved re-integrates only roads whose fused profile (or
+// provenance) actually changed — the same stamp discipline as the routing
+// engine's cost tables.
+//
+// The endpoint is optional: a server without an attached network answers
+// 503 (like routing without an engine).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"roadgrade/internal/emission"
+	"roadgrade/internal/obs"
+	"roadgrade/internal/road"
+)
+
+var (
+	obsEmisRequests = obs.Default.Counter("cloud_emission_requests_total")
+	obsEmisHits     = obs.Default.Counter("cloud_emission_cache_hits_total")
+	obsEmisRoads    = obs.Default.Counter("cloud_emission_roads_recomputed_total")
+	obsEmisRebuilds = obs.Default.Counter("cloud_emission_rebuilds_total")
+	obsEmisSecs     = obs.Default.Histogram("cloud_emission_rebuild_seconds", obs.LatencyBuckets)
+)
+
+// emissionSpeedsKmh are the cruise speeds emission tables are built for;
+// requests snap to the nearest. A fixed set bounds the cache at
+// |vehicles| × |speeds| entries.
+var emissionSpeedsKmh = []float64{30, 40, 50, 60}
+
+// emisEdge is one directed road plus its opposite-direction sibling (the
+// sign-flip fallback), resolved once at EnableEmissions.
+type emisEdge struct {
+	road *road.Road
+	rev  *road.Road
+}
+
+// emisKey identifies one cached table.
+type emisKey struct {
+	vehicle emission.VehicleClass
+	speed   float64
+}
+
+// emisEntry is one generation-stamped emission table: the DTO rows, the
+// per-road provenance stamps they were built from, and the pre-encoded
+// response body.
+type emisEntry struct {
+	storeGen uint64
+	stamps   []uint64
+	dto      EmissionTableDTO
+	json     []byte
+}
+
+// emissions is the endpoint's state, attached via EnableEmissions.
+type emissions struct {
+	edges []emisEdge
+	mu    sync.Mutex
+	cache map[emisKey]*emisEntry
+}
+
+// EnableEmissions attaches a road network, turning on GET /v1/emissions.
+// Call before Handler()/serving. The table is computed from this server's
+// own fused store; roads nobody has driven fall back to the opposite
+// direction's profile sign-flipped, then to flat — the same provenance
+// ladder the routing engine uses.
+func (s *Server) EnableEmissions(net *road.Network) error {
+	if net == nil || len(net.Edges) == 0 {
+		return errors.New("cloud: emissions need a non-empty network")
+	}
+	em := &emissions{
+		edges: make([]emisEdge, len(net.Edges)),
+		cache: make(map[emisKey]*emisEntry),
+	}
+	byPair := make(map[[2]int]*road.Road, len(net.Edges))
+	for _, ed := range net.Edges {
+		byPair[[2]int{ed.From, ed.To}] = ed.Road
+	}
+	for i, ed := range net.Edges {
+		em.edges[i] = emisEdge{road: ed.Road, rev: byPair[[2]int{ed.To, ed.From}]}
+	}
+	s.emis = em
+	return nil
+}
+
+// EmissionRoadDTO is one road's emission intensities on the wire.
+type EmissionRoadDTO struct {
+	RoadID       string  `json:"road_id"`
+	Class        string  `json:"class"`
+	LengthM      float64 `json:"length_m"`
+	MeanGradeDeg float64 `json:"mean_grade_deg"`
+	// Provenance records where the road's grades came from: "fused" (its
+	// own crowd profile), "reverse" (opposite direction, sign-flipped), or
+	// "flat" (no data — grade assumed zero).
+	Provenance string  `json:"provenance"`
+	COGPerKm   float64 `json:"co_g_per_km"`
+	NOxGPerKm  float64 `json:"nox_g_per_km"`
+	HCGPerKm   float64 `json:"hc_g_per_km"`
+	PM25GPerKm float64 `json:"pm25_g_per_km"`
+}
+
+// EmissionTableDTO is the city-wide emission table on the wire.
+type EmissionTableDTO struct {
+	// Generation is the store generation the table reflects.
+	Generation uint64            `json:"generation"`
+	Vehicle    string            `json:"vehicle"`
+	SpeedKmh   float64           `json:"speed_kmh"`
+	Roads      []EmissionRoadDTO `json:"roads"`
+}
+
+// snapEmissionSpeed snaps a requested cruise speed to the nearest table
+// bucket.
+func snapEmissionSpeed(kmh float64) (float64, error) {
+	if kmh <= 0 || math.IsNaN(kmh) || math.IsInf(kmh, 0) {
+		return 0, fmt.Errorf("cloud: invalid speed_kmh %v", kmh)
+	}
+	best, bestGap := emissionSpeedsKmh[0], math.Inf(1)
+	for _, s := range emissionSpeedsKmh {
+		if gap := math.Abs(s - kmh); gap < bestGap {
+			best, bestGap = s, gap
+		}
+	}
+	return best, nil
+}
+
+// emisGrades resolves one road's grade closure, provenance label, and
+// provenance-disjoint stamp (3g+1 fused, 3g+2 reverse, 0 flat — the
+// CloudSource discipline, so a provenance switch always changes the stamp).
+func (s *Server) emisGrades(ed emisEdge) (func(float64) float64, string, uint64) {
+	if p, gen, err := s.FusedGeneration(ed.road.ID()); err == nil {
+		return p.GradeAt, "fused", 3*gen + 1
+	}
+	if ed.rev != nil {
+		if p, gen, err := s.FusedGeneration(ed.rev.ID()); err == nil {
+			length := ed.rev.Length()
+			return func(at float64) float64 { return -p.GradeAt(length - at) }, "reverse", 3*gen + 2
+		}
+	}
+	return func(float64) float64 { return 0 }, "flat", 0
+}
+
+// EmissionTable returns the current per-road emission table for a vehicle
+// class at a cruise speed (snapped to the nearest bucket), rebuilding from
+// the fused store only what changed. The experiment suite calls this
+// directly; the HTTP handler serves its pre-encoded form.
+func (s *Server) EmissionTable(vehicle emission.VehicleClass, speedKmh float64) (EmissionTableDTO, error) {
+	dto, _, err := s.emissionEntry(vehicle, speedKmh)
+	return dto, err
+}
+
+func (s *Server) emissionEntry(vehicle emission.VehicleClass, speedKmh float64) (EmissionTableDTO, []byte, error) {
+	em := s.emis
+	if em == nil {
+		return EmissionTableDTO{}, nil, errors.New("cloud: emissions not enabled")
+	}
+	speed, err := snapEmissionSpeed(speedKmh)
+	if err != nil {
+		return EmissionTableDTO{}, nil, err
+	}
+	params := emission.ForVehicle(vehicle)
+	key := emisKey{vehicle: vehicle, speed: speed}
+	gen := s.StoreGeneration()
+
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	prev := em.cache[key]
+	if prev != nil && prev.storeGen == gen {
+		obsEmisHits.Inc()
+		return prev.dto, prev.json, nil
+	}
+	start := time.Now()
+	entry := &emisEntry{
+		storeGen: gen,
+		stamps:   make([]uint64, len(em.edges)),
+		dto: EmissionTableDTO{
+			Generation: gen,
+			Vehicle:    vehicle.String(),
+			SpeedKmh:   speed,
+			Roads:      make([]EmissionRoadDTO, len(em.edges)),
+		},
+	}
+	speedMS := speed / 3.6
+	recomputed := 0
+	for i, ed := range em.edges {
+		grade, prov, stamp := s.emisGrades(ed)
+		entry.stamps[i] = stamp
+		if prev != nil && prev.stamps[i] == stamp {
+			entry.dto.Roads[i] = prev.dto.Roads[i]
+			continue
+		}
+		re, err := emission.RoadEmissionsAt(ed.road, speedMS,
+			func(_ *road.Road, at float64) float64 { return grade(at) }, params)
+		if err != nil {
+			return EmissionTableDTO{}, nil, fmt.Errorf("cloud: road %s: %w", ed.road.ID(), err)
+		}
+		entry.dto.Roads[i] = EmissionRoadDTO{
+			RoadID:       re.RoadID,
+			Class:        roadClassName(re.Class),
+			LengthM:      re.LengthM,
+			MeanGradeDeg: re.MeanGradeDeg,
+			Provenance:   prov,
+			COGPerKm:     re.GramsPerKm[emission.CO],
+			NOxGPerKm:    re.GramsPerKm[emission.NOx],
+			HCGPerKm:     re.GramsPerKm[emission.HC],
+			PM25GPerKm:   re.GramsPerKm[emission.PM25],
+		}
+		recomputed++
+	}
+	entry.json, err = json.Marshal(entry.dto)
+	if err != nil {
+		return EmissionTableDTO{}, nil, err
+	}
+	em.cache[key] = entry
+	obsEmisRebuilds.Inc()
+	obsEmisRoads.Add(uint64(recomputed))
+	obsEmisSecs.Observe(time.Since(start).Seconds())
+	return entry.dto, entry.json, nil
+}
+
+// roadClassName labels a road class for the wire (mirrors the fuel map's
+// class vocabulary).
+func roadClassName(c road.Class) string {
+	switch c {
+	case road.ClassArterial:
+		return "arterial"
+	case road.ClassCollector:
+		return "collector"
+	case road.ClassLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("class_%d", int(c))
+	}
+}
+
+func (s *Server) handleEmissions(w http.ResponseWriter, r *http.Request) {
+	if s.emis == nil {
+		httpError(w, http.StatusServiceUnavailable, errors.New("cloud: emissions not enabled"))
+		return
+	}
+	q := r.URL.Query()
+	vehicle, err := emission.ParseVehicleClass(q.Get("vehicle"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	speed := 40.0
+	if v := q.Get("speed_kmh"); v != "" {
+		if speed, err = strconv.ParseFloat(v, 64); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("cloud: invalid speed_kmh %q", v))
+			return
+		}
+	}
+	obsEmisRequests.Inc()
+	_, body, err := s.emissionEntry(vehicle, speed)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}

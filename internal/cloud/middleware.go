@@ -23,6 +23,7 @@ var (
 		routeFused:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeFused)),
 		routeList:   obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeList)),
 		routeRoute:  obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeRoute)),
+		routeEmis:   obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeEmis)),
 		routeDevice: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeDevice)),
 		routeTraces: obs.Default.Histogram("cloud_server_request_seconds", obs.LatencyBuckets, obs.L("route", routeTraces)),
 	}
@@ -36,6 +37,7 @@ const (
 	routeFused  = "fused"
 	routeList   = "list"
 	routeRoute  = "route"
+	routeEmis   = "emissions"
 	routeDevice = "device"
 	routeTraces = "debug_traces"
 )

@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	"roadgrade/internal/ecoroute"
+	"roadgrade/internal/emission"
 	"roadgrade/internal/obs"
 )
 
@@ -43,6 +44,12 @@ type RouteDTO struct {
 	TimeS     float64  `json:"time_s"`
 	FuelGal   float64  `json:"fuel_gal"`
 	CO2G      float64  `json:"co2_g"`
+	// Operating-mode pollutant grams, filled for pollutant objectives
+	// (nox/co/hc/pm); zero otherwise.
+	COG   float64 `json:"co_g,omitempty"`
+	NOxG  float64 `json:"nox_g,omitempty"`
+	HCG   float64 `json:"hc_g,omitempty"`
+	PM25G float64 `json:"pm25_g,omitempty"`
 }
 
 // fromPlan builds the wire form of a plan.
@@ -59,6 +66,10 @@ func fromPlan(p ecoroute.Plan) RouteDTO {
 		TimeS:     p.TimeS,
 		FuelGal:   p.FuelGal,
 		CO2G:      p.CO2G,
+		COG:       p.EmisG[emission.CO],
+		NOxG:      p.EmisG[emission.NOx],
+		HCG:       p.EmisG[emission.HC],
+		PM25G:     p.EmisG[emission.PM25],
 	}
 }
 

@@ -184,3 +184,61 @@ func BenchmarkEcoRouteInvalidate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEmissionRouteQuery is the pollutant-routing acceptance benchmark:
+// min-NOx point-to-point queries on warm cost tables (the lazily built
+// per-bucket emission rows are primed by the first query). The reported
+// p95-ns metric must stay under the same 1 ms bar as the fuel objective —
+// pollutant rows ride the identical search machinery, only the edge weights
+// differ. scripts/bench.sh snapshots this to BENCH_PR10.json.
+func BenchmarkEmissionRouteQuery(b *testing.B) {
+	net := charlottesville(b)
+	eng, err := NewEngine(net, TruthSource{}, Config{})
+	if err != nil {
+		b.Fatalf("engine: %v", err)
+	}
+	pairs := benchPairs(eng, 1024)
+	// Prime tables, emission rows, and NOx landmarks.
+	if _, err := eng.Route(NOx, 40, pairs[0][0], pairs[0][1]); err != nil {
+		b.Fatalf("prime: %v", err)
+	}
+	durs := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		start := time.Now()
+		_, err := eng.Route(NOx, 40, p[0], p[1])
+		durs = append(durs, time.Since(start))
+		if err != nil {
+			b.Fatalf("route %v: %v", p, err)
+		}
+	}
+	b.StopTimer()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p95 := durs[int(0.95*float64(len(durs)-1))]
+	b.ReportMetric(float64(p95.Nanoseconds()), "p95-ns")
+}
+
+// BenchmarkEmissionRowBuild pays the lazy per-bucket pollutant row build on
+// every iteration: the source's generation bumps with every edge stamped, so
+// the snapshot rebuilds and the first NOx query re-integrates all four
+// pollutant rows over every edge.
+func BenchmarkEmissionRowBuild(b *testing.B) {
+	net := charlottesville(b)
+	src := &bumpSource{stampAll: true}
+	eng, err := NewEngine(net, src, Config{})
+	if err != nil {
+		b.Fatalf("engine: %v", err)
+	}
+	pairs := benchPairs(eng, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.gen++
+		p := pairs[i%len(pairs)]
+		if _, err := eng.Route(NOx, 40, p[0], p[1]); err != nil {
+			b.Fatalf("route %v: %v", p, err)
+		}
+	}
+}

@@ -27,6 +27,10 @@ var (
 		Time:     obs.Default.Histogram("ecoroute_route_seconds", obs.LatencyBuckets, obs.L("objective", "time")),
 		Fuel:     obs.Default.Histogram("ecoroute_route_seconds", obs.LatencyBuckets, obs.L("objective", "fuel")),
 		CO2:      obs.Default.Histogram("ecoroute_route_seconds", obs.LatencyBuckets, obs.L("objective", "co2")),
+		NOx:      obs.Default.Histogram("ecoroute_route_seconds", obs.LatencyBuckets, obs.L("objective", "nox")),
+		CO:       obs.Default.Histogram("ecoroute_route_seconds", obs.LatencyBuckets, obs.L("objective", "co")),
+		HC:       obs.Default.Histogram("ecoroute_route_seconds", obs.LatencyBuckets, obs.L("objective", "hc")),
+		PM:       obs.Default.Histogram("ecoroute_route_seconds", obs.LatencyBuckets, obs.L("objective", "pm")),
 	}
 )
 
@@ -54,9 +58,27 @@ type tables struct {
 	edgeGen []uint64
 	// fuel[b][e] is edge e's gallons at bucket b's class-adjusted speed.
 	fuel [][]float64
+	// gradeAt[e] is the grade closure edge e's costs were integrated on,
+	// captured at rebuild time. Pollutant rows are built lazily AFTER the
+	// snapshot is published; reading grades from the source then could see
+	// newer data than edgeGen stamps — these closures pin the snapshot's
+	// view (profile snapshots are immutable).
+	gradeAt []func(float64) float64
 
 	co2Once []sync.Once
 	co2     [][]float64
+
+	// Pollutant cost rows (emis[b][sp][e], grams) are built lazily per
+	// bucket — one integration pass fills all four species — so fuel-only
+	// users never pay for them. emisPrev/emisPrevGen carry the previous
+	// snapshot's built rows: an edge whose stamp is unchanged copies its
+	// four values instead of re-integrating (bit-identical — the
+	// integration is deterministic in the grade data the stamp names).
+	emisOnce    []sync.Once
+	emisBuilt   []atomic.Bool
+	emis        [][][]float64
+	emisPrev    [][][]float64
+	emisPrevGen []uint64
 }
 
 // co2Row lazily scales the fuel row into grams; built at most once per
@@ -108,11 +130,16 @@ func (e *Engine) rebuild(prev *tables, gen uint64) *tables {
 	nEdges := len(e.edges)
 	nBuckets := len(e.cfg.SpeedsKmh)
 	next := &tables{
-		gen:     gen,
-		edgeGen: make([]uint64, nEdges),
-		fuel:    make([][]float64, nBuckets),
-		co2Once: make([]sync.Once, nBuckets),
-		co2:     make([][]float64, nBuckets),
+		gen:       gen,
+		edgeGen:   make([]uint64, nEdges),
+		fuel:      make([][]float64, nBuckets),
+		gradeAt:   make([]func(float64) float64, nEdges),
+		co2Once:   make([]sync.Once, nBuckets),
+		co2:       make([][]float64, nBuckets),
+		emisOnce:  make([]sync.Once, nBuckets),
+		emisBuilt: make([]atomic.Bool, nBuckets),
+		emis:      make([][][]float64, nBuckets),
+		emisPrev:  make([][][]float64, nBuckets),
 	}
 	for b := 0; b < nBuckets; b++ {
 		next.fuel[b] = make([]float64, nEdges)
@@ -123,10 +150,23 @@ func (e *Engine) rebuild(prev *tables, gen uint64) *tables {
 	if prev != nil {
 		copy(next.edgeGen, prev.edgeGen)
 		next.version = prev.version
+		// Carry the previous snapshot's materialized pollutant rows so the
+		// lazy build only re-integrates stamped edges. The carry is one
+		// level deep: prev's rows are keyed by prev.edgeGen, so only rows
+		// prev actually built (not rows it merely carried) are usable. A
+		// bucket mid-build right now reads as not-built — correct, merely
+		// a full integration pass later.
+		next.emisPrevGen = prev.edgeGen
+		for b := 0; b < nBuckets; b++ {
+			if prev.emisBuilt[b].Load() {
+				next.emisPrev[b] = prev.emis[b]
+			}
+		}
 	}
 	changed := 0
 	for i, ed := range e.edges {
 		eg := e.src.Edge(ed.Road, e.siblingRoad(i))
+		next.gradeAt[i] = eg.At
 		if prev != nil && eg.Gen == next.edgeGen[i] {
 			obsCostReused.Inc()
 			continue

@@ -217,19 +217,20 @@ func (e *Engine) cchSpare() *cchWeights {
 // cchWeightsFor returns (customizing if needed) the weight table for a metric
 // and bucket on the given snapshot, under the same cache key discipline as
 // the ALT landmark tables: Distance ignores the bucket, Distance/Time never
-// invalidate, Fuel is keyed to the snapshot's cost version. A superseded fuel
-// table is not discarded — it seeds the incremental re-customization, then
-// joins the retired freelist so its arrays back a later customization.
+// invalidate, grade-dependent metrics (Fuel and the pollutants) are keyed to
+// the snapshot's cost version. A superseded grade-dependent table is not
+// discarded — it seeds the incremental re-customization, then joins the
+// retired freelist so its arrays back a later customization.
 //
 // The returned table has one reader reference held for the caller, who must
 // release() it when the search is done.
 func (e *Engine) cchWeightsFor(metric Objective, bucket int, tb *tables) *cchWeights {
 	g := e.cchGraph()
 	key := lmKey{metric: metric, bucket: bucket}
-	switch metric {
-	case Distance:
+	switch {
+	case metric == Distance:
 		key.bucket = 0 // distance costs are bucket-independent
-	case Fuel:
+	case gradeDependent(metric):
 		key.version = tb.version
 	}
 	e.cchWMu.Lock()
@@ -241,12 +242,13 @@ func (e *Engine) cchWeightsFor(metric Objective, bucket int, tb *tables) *cchWei
 	cost := e.costRow(metric, bucket, tb)
 	stats := cchCustStats{totalArcs: len(g.arcLo)}
 	var w *cchWeights
-	if metric == Fuel {
-		// The freshest superseded version for this bucket seeds the
-		// incremental path; it and any older ones are retired for recycling.
+	if gradeDependent(metric) {
+		// The freshest superseded version for this metric and bucket seeds
+		// the incremental path; it and any older ones are retired for
+		// recycling.
 		var prev *cchWeights
 		for k, old := range e.cchW {
-			if k.metric == Fuel && k.bucket == key.bucket {
+			if k.metric == metric && k.bucket == key.bucket {
 				if prev == nil || old.version > prev.version {
 					if prev != nil {
 						e.cchRetire(prev)

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"roadgrade/internal/emission"
 	"roadgrade/internal/fuel"
 	"roadgrade/internal/road"
 )
@@ -46,6 +47,17 @@ const (
 	// fuel (§III-E: m = F·V), so the argmin path equals Fuel's; the
 	// objective exists so costs and reports read in grams.
 	CO2
+	// NOx minimizes oxides of nitrogen under the operating-mode model
+	// (internal/emission). Unlike CO2, pollutant rates are binned step
+	// functions of power demand, so min-NOx routes genuinely diverge from
+	// min-fuel on hills — steep pitches jump whole emission bins.
+	NOx
+	// CO minimizes carbon monoxide.
+	CO
+	// HC minimizes unburned hydrocarbons.
+	HC
+	// PM minimizes fine particulate matter (PM2.5).
+	PM
 )
 
 // String returns the objective name.
@@ -59,13 +71,23 @@ func (o Objective) String() string {
 		return "fuel"
 	case CO2:
 		return "co2"
+	case NOx:
+		return "nox"
+	case CO:
+		return "co"
+	case HC:
+		return "hc"
+	case PM:
+		return "pm"
 	default:
 		return fmt.Sprintf("Objective(%d)", int(o))
 	}
 }
 
 // Objectives lists every routing objective in stable order.
-func Objectives() []Objective { return []Objective{Distance, Time, Fuel, CO2} }
+func Objectives() []Objective {
+	return []Objective{Distance, Time, Fuel, CO2, NOx, CO, HC, PM}
+}
 
 // ParseObjective resolves an objective name (case-insensitive).
 func ParseObjective(s string) (Objective, error) {
@@ -78,8 +100,16 @@ func ParseObjective(s string) (Objective, error) {
 		return Fuel, nil
 	case "co2", "emission":
 		return CO2, nil
+	case "nox":
+		return NOx, nil
+	case "co":
+		return CO, nil
+	case "hc":
+		return HC, nil
+	case "pm", "pm25", "pm2.5":
+		return PM, nil
 	}
-	return 0, fmt.Errorf("ecoroute: unknown objective %q (want distance | time | fuel | co2)", s)
+	return 0, fmt.Errorf("ecoroute: unknown objective %q (want distance | time | fuel | co2 | nox | co | hc | pm)", s)
 }
 
 // Search algorithms the engine can run point queries with. Both return
@@ -126,6 +156,10 @@ type Config struct {
 	Landmarks int
 	// Params are the Eq. (7) VSP coefficients (default fuel.TableII()).
 	Params fuel.VSPParams
+	// Emission configures the operating-mode pollutant model behind the
+	// NOx/CO/HC/PM objectives. The zero value selects the light-duty car
+	// defaults (emission.ForVehicle(emission.Car)).
+	Emission emission.Params
 	// ClassSpeedFactor scales the cruise speed per road class — arterials
 	// flow faster than local streets, which is what makes the fastest route
 	// differ from the shortest. Defaults: arterial 1.25, collector 1.0,
@@ -149,6 +183,7 @@ func (c Config) withDefaults() Config {
 	if (c.Params == fuel.VSPParams{}) {
 		c.Params = fuel.TableII()
 	}
+	c.Emission = c.Emission.WithDefaults()
 	if c.ClassSpeedFactor == nil {
 		c.ClassSpeedFactor = map[road.Class]float64{
 			road.ClassArterial:  1.25,
@@ -179,17 +214,18 @@ type Engine struct {
 	// Adjacency is flat CSR (offsets + one edge-index array per direction)
 	// so searches stream through contiguous memory instead of chasing
 	// per-node slice headers.
-	idx     map[int]int // node ID → dense index
-	ids     []int       // dense index → node ID
-	outOff  []int32     // CSR offsets: edges leaving dense node v are outArc[outOff[v]:outOff[v+1]]
-	outArc  []int32
-	inOff   []int32 // CSR offsets of incoming edges
-	inArc   []int32
-	edges   []*road.Edge
-	tail    []int32 // per edge: dense From
-	head    []int32 // per edge: dense To
-	lengthM []float64
-	sibling []int32 // opposite-direction edge index, -1 if none
+	idx      map[int]int // node ID → dense index
+	ids      []int       // dense index → node ID
+	outOff   []int32     // CSR offsets: edges leaving dense node v are outArc[outOff[v]:outOff[v+1]]
+	outArc   []int32
+	inOff    []int32 // CSR offsets of incoming edges
+	inArc    []int32
+	edges    []*road.Edge
+	tail     []int32 // per edge: dense From
+	head     []int32 // per edge: dense To
+	lengthM  []float64
+	sibling  []int32          // opposite-direction edge index, -1 if none
+	roadEdge map[string]int32 // road ID → edge index (PlanEmissions lookup)
 
 	// timeS[b][e] is edge e's traversal seconds at bucket b's class-adjusted
 	// speed; fixed at construction (grades don't change time in this model).
@@ -256,6 +292,7 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 	e.head = make([]int32, len(net.Edges))
 	e.lengthM = make([]float64, len(net.Edges))
 	e.sibling = make([]int32, len(net.Edges))
+	e.roadEdge = make(map[string]int32, len(net.Edges))
 	edgeAt := make(map[*road.Edge]int32, len(net.Edges))
 	for i, ed := range net.Edges {
 		from, ok := e.idx[ed.From]
@@ -271,6 +308,7 @@ func NewEngine(net *road.Network, src GradeSource, cfg Config) (*Engine, error) 
 		e.head[i] = int32(to)
 		e.lengthM[i] = ed.Road.Length()
 		e.sibling[i] = -1
+		e.roadEdge[ed.Road.ID()] = int32(i)
 		edgeAt[ed] = int32(i)
 	}
 	// Adjacency comes from the network's own forward and reverse indices so
@@ -373,6 +411,11 @@ type Plan struct {
 	TimeS   float64
 	FuelGal float64
 	CO2G    float64
+	// EmisG holds the route's per-pollutant grams under the operating-mode
+	// model (indexed by emission.Pollutant). Filled only for pollutant
+	// objectives — their cost tables are already materialized then; other
+	// objectives leave it zero (use Engine.PlanEmissions to fill it).
+	EmisG emission.Grams
 }
 
 // buildPlan assembles the public result from an edge-index path. Costs are
@@ -402,12 +445,23 @@ func (e *Engine) buildPlan(obj Objective, bucket int, tb *tables, from, to int, 
 	for _, ei := range path {
 		p.Cost += cost[ei]
 	}
+	if _, ok := pollutantOf(obj); ok {
+		// The bucket's pollutant rows were materialized by costRow above;
+		// summing all four species is four contiguous row walks.
+		for _, sp := range emission.Pollutants() {
+			row := e.emissionRow(sp, bucket, tb)
+			for _, ei := range path {
+				p.EmisG[sp] += row[ei]
+			}
+		}
+	}
 	return p
 }
 
 // costRow returns the per-edge cost slice for an objective. CO2 shares
 // Fuel's row scaled by the emission factor (same argmin, gram-denominated
-// cost); the scaled row is built lazily per snapshot.
+// cost); the scaled row is built lazily per snapshot, as are the pollutant
+// rows (one integration pass fills all four species for a bucket).
 func (e *Engine) costRow(obj Objective, bucket int, tb *tables) []float64 {
 	switch obj {
 	case Distance:
@@ -416,6 +470,9 @@ func (e *Engine) costRow(obj Objective, bucket int, tb *tables) []float64 {
 		return e.timeS[bucket]
 	case CO2:
 		return tb.co2Row(bucket)
+	case NOx, CO, HC, PM:
+		sp, _ := pollutantOf(obj)
+		return e.emissionRow(sp, bucket, tb)
 	default:
 		return tb.fuel[bucket]
 	}
@@ -423,7 +480,8 @@ func (e *Engine) costRow(obj Objective, bucket int, tb *tables) []float64 {
 
 // metricFor collapses objectives onto the distinct search metrics: CO2 is a
 // constant multiple of Fuel, so both route on the fuel row and share ALT
-// landmark tables.
+// landmark tables. Each pollutant is its own metric — the binned rates are
+// not proportional to fuel or to each other.
 func metricFor(obj Objective) Objective {
 	if obj == CO2 {
 		return Fuel

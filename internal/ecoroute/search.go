@@ -220,14 +220,15 @@ func (e *Engine) pickLandmarks() []int32 {
 
 // landmarksFor returns (building if needed) the landmark distance table for
 // a metric and bucket on the given snapshot. Distance and Time metrics never
-// invalidate (grades don't affect them); Fuel tables are keyed to the
-// snapshot's cost version so only an actual cost change rebuilds them.
+// invalidate (grades don't affect them); grade-dependent metrics (Fuel and
+// the pollutants) are keyed to the snapshot's cost version so only an
+// actual cost change rebuilds them.
 func (e *Engine) landmarksFor(metric Objective, bucket int, tb *tables) *landmarkTable {
 	key := lmKey{metric: metric, bucket: bucket}
-	switch metric {
-	case Distance:
+	switch {
+	case metric == Distance:
 		key.bucket = 0 // distance costs are bucket-independent
-	case Fuel:
+	case gradeDependent(metric):
 		key.version = tb.version
 	}
 	e.lmMu.Lock()
@@ -248,11 +249,11 @@ func (e *Engine) landmarksFor(metric Objective, bucket int, tb *tables) *landmar
 		oneToAll(e.inOff, e.inArc, e.tail, cost, L, lt.to[i], nil)
 	}
 	obsLandmarkRuns.Inc()
-	// Drop superseded fuel tables for this bucket so re-fusions don't
-	// accumulate dead versions.
-	if metric == Fuel {
+	// Drop superseded grade-dependent tables for this metric and bucket so
+	// re-fusions don't accumulate dead versions.
+	if gradeDependent(metric) {
 		for old := range e.lmCache {
-			if old.metric == Fuel && old.bucket == bucket && old.version != key.version {
+			if old.metric == metric && old.bucket == bucket && old.version != key.version {
 				delete(e.lmCache, old)
 			}
 		}

@@ -1,0 +1,120 @@
+package emission
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"roadgrade/internal/fuel"
+	"roadgrade/internal/road"
+)
+
+// TripEmissions integrates the operating-mode model over a drive described
+// by per-sample speed, acceleration and grade at interval dt, returning
+// total grams per pollutant — the emission analog of fuel.TripFuel.
+func TripEmissions(p Params, dt float64, v, a, grade []float64) (Grams, error) {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		return Grams{}, err
+	}
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return Grams{}, fmt.Errorf("emission: invalid dt %v", dt)
+	}
+	if len(v) != len(a) || len(v) != len(grade) {
+		return Grams{}, fmt.Errorf("emission: series length mismatch %d/%d/%d", len(v), len(a), len(grade))
+	}
+	var out Grams
+	rates := p.rateTable()
+	for i := range v {
+		g := rates[p.OpModeFor(v[i], a[i], grade[i]).Index()]
+		for s := range out {
+			out[s] += g[s] * dt / 3600
+		}
+	}
+	return out, nil
+}
+
+// RoadEmissions is the per-pollutant Figure 10(b) quantity for one road: a
+// cruising vehicle's emission intensity, per pollutant, in grams per km.
+type RoadEmissions struct {
+	RoadID       string
+	Class        road.Class
+	LengthM      float64
+	MeanGradeDeg float64
+	// GramsPerKm is the per-vehicle emission intensity of each pollutant.
+	GramsPerKm Grams
+}
+
+// cellStepM matches the fused grade map's 5 m cell spacing: integrating at
+// the map's native resolution means no gradient information is discarded.
+const cellStepM = 5.0
+
+// RoadEmissionsAt integrates the operating-mode model along one road at
+// constant cruise speed, sampling the gradient at the midpoint of every
+// 5 m cell (mirroring fuel.RoadFuelAt's structure at the fused map's
+// resolution). Because the bin lookup is a step function of grade, a road
+// with one steep pitch can emit far more than its mean grade suggests —
+// exactly the non-linearity the per-cell integration preserves.
+func RoadEmissionsAt(r *road.Road, speedMS float64, grade fuel.GradeFunc, p Params) (RoadEmissions, error) {
+	p = p.WithDefaults()
+	if r == nil {
+		return RoadEmissions{}, errors.New("emission: nil road")
+	}
+	if speedMS <= 0 || math.IsNaN(speedMS) || math.IsInf(speedMS, 0) {
+		return RoadEmissions{}, fmt.Errorf("emission: speed %v must be positive", speedMS)
+	}
+	if grade == nil {
+		return RoadEmissions{}, errors.New("emission: nil grade func")
+	}
+	if err := p.Validate(); err != nil {
+		return RoadEmissions{}, err
+	}
+	length := r.Length()
+	rates := p.rateTable()
+	var total Grams
+	var sumGrade float64
+	var n int
+	for s := 0.0; s < length; s += cellStepM {
+		ds := cellStepM
+		if s+ds > length {
+			ds = length - s
+		}
+		g := grade(r, s+ds/2)
+		row := rates[p.OpModeFor(speedMS, 0, g).Index()]
+		dt := ds / speedMS
+		for sp := range total {
+			total[sp] += row[sp] * dt / 3600
+		}
+		sumGrade += g
+		n++
+	}
+	out := RoadEmissions{RoadID: r.ID(), Class: r.Class(), LengthM: length}
+	if n == 0 {
+		// Degenerate zero-length road: report the point rate's intensity.
+		g := grade(r, 0)
+		row := rates[p.OpModeFor(speedMS, 0, g).Index()]
+		out.MeanGradeDeg = g * 180 / math.Pi
+		out.GramsPerKm = row.Scale(1 / (speedMS * 3.6))
+		return out, nil
+	}
+	out.MeanGradeDeg = sumGrade / float64(n) * 180 / math.Pi
+	out.GramsPerKm = total.Scale(1000 / length)
+	return out, nil
+}
+
+// NetworkEmissions evaluates RoadEmissionsAt over every edge of a network
+// — the data behind the pollutant extension of the Figure 10(b) city map.
+func NetworkEmissions(net *road.Network, speedMS float64, grade fuel.GradeFunc, p Params) ([]RoadEmissions, error) {
+	if net == nil || len(net.Edges) == 0 {
+		return nil, errors.New("emission: empty network")
+	}
+	out := make([]RoadEmissions, 0, len(net.Edges))
+	for _, e := range net.Edges {
+		re, err := RoadEmissionsAt(e.Road, speedMS, grade, p)
+		if err != nil {
+			return nil, fmt.Errorf("emission: road %s: %w", e.Road.ID(), err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}

@@ -43,6 +43,7 @@ func Registry() map[string]Runner {
 		"journey":      Journey,
 		"routing":      Routing,
 		"ecoroutes":    EcoRoutes,
+		"emissionmaps": EmissionMaps,
 		"routescale":   RouteScale,
 	}
 }

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEmissionMaps checks the city-map invariants: every road is covered
+// with fused provenance, the steep quartile out-emits the flat one, heavier
+// classes out-emit the car, and at least one O/D pair demonstrates the
+// min-NOx vs min-fuel divergence the pollutant objectives exist for.
+func TestEmissionMaps(t *testing.T) {
+	tb, err := EmissionMaps(quickOpt)
+	if err != nil {
+		t.Fatalf("EmissionMaps: %v", err)
+	}
+	rows := map[string]string{}
+	for _, r := range tb.Rows {
+		rows[r[0]] = r[1]
+	}
+	num := func(key string) float64 {
+		v, err := strconv.ParseFloat(rows[key], 64)
+		if err != nil {
+			t.Fatalf("row %q = %q: %v", key, rows[key], err)
+		}
+		return v
+	}
+	frac := func(key string) (int, int) {
+		parts := strings.SplitN(rows[key], "/", 2)
+		if len(parts) != 2 {
+			t.Fatalf("row %q = %q is not a fraction", key, rows[key])
+		}
+		a, err1 := strconv.Atoi(parts[0])
+		b, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %q = %q: bad integers", key, rows[key])
+		}
+		return a, b
+	}
+
+	if got, total := frac("roads with fused provenance"); got != total || total == 0 {
+		t.Errorf("fused provenance %d/%d after submitting every road", got, total)
+	}
+	if num("mean NOx (g/km, car)") <= 0 {
+		t.Error("car NOx mean not positive")
+	}
+	flat := num("mean NOx, flattest quartile (g/km)")
+	steep := num("mean NOx, steepest quartile (g/km)")
+	if steep <= flat {
+		t.Errorf("steep quartile %.3f g/km not above flat %.3f — grade drives the map", steep, flat)
+	}
+	car := num("mean NOx (g/km, car)")
+	if num("mean NOx (g/km, truck)") <= car || num("mean NOx (g/km, bus)") <= car {
+		t.Error("heavier classes do not out-emit the car")
+	}
+	div, total := frac("O/D pairs where min-NOx diverges from min-fuel")
+	if div < 1 {
+		t.Errorf("no O/D pair diverged (%d/%d) — pollutant objectives add nothing", div, total)
+	}
+	save := rows["mean NOx saving on diverged pairs"]
+	if !strings.HasSuffix(save, "%") {
+		t.Errorf("NOx saving %q not a percentage", save)
+	} else if v, err := strconv.ParseFloat(strings.TrimSuffix(save, "%"), 64); err != nil || v <= 0 {
+		t.Errorf("min-NOx routes save %q NOx on diverged pairs, want > 0", save)
+	}
+	if !strings.Contains(tb.Note, "gradebench -exp emissionmaps") {
+		t.Error("note lacks the reproduction command")
+	}
+}

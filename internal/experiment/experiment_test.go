@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		// Extension studies.
 		"misalignment", "multivehicle", "ablation", "robustness", "robustsweep",
 		"poisonsweep", "speedsweep", "obssweep",
-		"journey", "routing", "ecoroutes", "routescale",
+		"journey", "routing", "ecoroutes", "emissionmaps", "routescale",
 	}
 	reg := Registry()
 	for _, name := range want {

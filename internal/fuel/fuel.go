@@ -93,7 +93,19 @@ func (p VSPParams) Validate() error {
 
 // RateGPH evaluates Eq. (7): gallons per hour at speed v (m/s),
 // acceleration a (m/s²) and road gradient θ (radians), floored at idle.
+//
+// Garbage in, zero out: a negative speed (vehicles don't drive Eq. (7)
+// backwards) or any non-finite input returns exactly 0 gph — the one value
+// below the idle floor — so corrupted samples can't poison a trip integral
+// with NaN or a huge negative "rate". Valid inputs are evaluated on the
+// unchanged arithmetic path, bit-identical to the unguarded form.
 func (p VSPParams) RateGPH(vMS, aMS2, gradeRad float64) float64 {
+	if vMS < 0 ||
+		math.IsNaN(vMS) || math.IsInf(vMS, 0) ||
+		math.IsNaN(aMS2) || math.IsInf(aMS2, 0) ||
+		math.IsNaN(gradeRad) || math.IsInf(gradeRad, 0) {
+		return 0
+	}
 	m := p.MassTon
 	watts := p.BaseWatts +
 		p.A*vMS*vMS*vMS +

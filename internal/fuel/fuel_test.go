@@ -75,6 +75,60 @@ func TestRateGPHGradeEffect(t *testing.T) {
 	}
 }
 
+// TestRateGPHGuards: corrupted samples — negative speed, NaN, ±Inf in any
+// argument — must return exactly 0 gph (the one value below the idle floor),
+// while every valid input stays bit-identical to the unguarded arithmetic.
+func TestRateGPHGuards(t *testing.T) {
+	p := TableII()
+	nan, inf := math.NaN(), math.Inf(1)
+	bad := []struct {
+		name    string
+		v, a, g float64
+	}{
+		{"neg-speed", -1, 0, 0},
+		{"neg-speed-tiny", -1e-300, 0, 0},
+		{"nan-speed", nan, 0, 0},
+		{"inf-speed", inf, 0, 0},
+		{"neg-inf-speed", -inf, 0, 0},
+		{"nan-accel", 10, nan, 0},
+		{"inf-accel", 10, inf, 0},
+		{"nan-grade", 10, 0, nan},
+		{"inf-grade", 10, 0, -inf},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := p.RateGPH(tt.v, tt.a, tt.g); got != 0 {
+				t.Errorf("RateGPH(%v, %v, %v) = %v, want exactly 0", tt.v, tt.a, tt.g, got)
+			}
+		})
+	}
+	// Valid inputs: bit-identical to the raw Eq. (7) evaluation with the
+	// idle floor — the guard must not perturb the arithmetic path.
+	good := []struct {
+		name    string
+		v, a, g float64
+	}{
+		{"flat-cruise", 40.0 / 3.6, 0, 0},
+		{"zero-speed", 0, 0, 0},
+		{"uphill", 11.11, 0.3, 0.05},
+		{"downhill", 25, -1, -0.08},
+	}
+	for _, tt := range good {
+		t.Run(tt.name, func(t *testing.T) {
+			m := p.MassTon
+			watts := p.BaseWatts + p.A*tt.v*tt.v*tt.v + p.B*m*tt.v*math.Sin(tt.g) +
+				p.C*m*tt.v + 1000*m*tt.a*tt.v + p.D*m*tt.a
+			want := watts / (p.GGEWhPerGallon * p.Efficiency)
+			if want < p.IdleGPH {
+				want = p.IdleGPH
+			}
+			if got := p.RateGPH(tt.v, tt.a, tt.g); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("RateGPH(%v, %v, %v) = %v, want bit-identical %v", tt.v, tt.a, tt.g, got, want)
+			}
+		})
+	}
+}
+
 func TestRateGPHAccelerationEffect(t *testing.T) {
 	p := TableII()
 	v := 40.0 / 3.6

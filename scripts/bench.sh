@@ -20,11 +20,15 @@
 #   - the routescale benchmarks — ALT vs CCH point queries at 1×/10×/100×
 #     the paper's network, the full vs incremental customization pair, the
 #     many-to-many matrices, and the road CSR-vs-map adjacency sweep
-#     (PR 9 baseline; the 100× fixtures make this the slowest family).
+#     (PR 9 baseline; the 100× fixtures make this the slowest family), and
+#   - the emission benchmarks — the city emission table (full build,
+#     one-road incremental, warm cache hit) and the pollutant-objective
+#     routing path (warm min-NOx queries with the p95 the acceptance bar
+#     reads, plus the lazy per-bucket row build) (PR 10 baseline).
 #
-# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json] [pr9.json]
+# Usage: scripts/bench.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json] [pr9.json] [pr10.json]
 #   (defaults BENCH_PR1.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json,
-#   BENCH_PR7.json, BENCH_PR8.json, BENCH_PR9.json)
+#   BENCH_PR7.json, BENCH_PR8.json, BENCH_PR9.json, BENCH_PR10.json)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,6 +39,7 @@ out6="${4:-BENCH_PR6.json}"
 out7="${5:-BENCH_PR7.json}"
 out8="${6:-BENCH_PR8.json}"
 out9="${7:-BENCH_PR9.json}"
+out10="${8:-BENCH_PR10.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -154,3 +159,8 @@ go test -run '^$' -bench 'BenchmarkRouteScale' -benchmem -timeout 30m ./internal
 emit_json "$tmp" >"$out9"
 echo "wrote $out9:"
 cat "$out9"
+
+go test -run '^$' -bench 'BenchmarkEmission' -benchmem ./internal/cloud ./internal/ecoroute >"$tmp"
+emit_json "$tmp" >"$out10"
+echo "wrote $out10:"
+cat "$out10"

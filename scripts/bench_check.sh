@@ -6,7 +6,7 @@
 # if any benchmark regresses more than its tolerance vs the committed
 # baselines.
 #
-# Usage: scripts/bench_check.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json] [pr9.json]
+# Usage: scripts/bench_check.sh [pr1.json] [pr4.json] [pr5.json] [pr6.json] [pr7.json] [pr8.json] [pr9.json] [pr10.json]
 #   BENCH_TOLERANCE_PCT           allowed ns/op regression for the PR 1
 #                                 family (default 10)
 #   BENCH_SERVING_TOLERANCE_PCT   allowed ns/op regression for the serving
@@ -56,6 +56,17 @@
 #                                 ns/op ratio after a one-road tick on the
 #                                 100× graph — the PR 9 ≥5× claim
 #                                 (default 5)
+#   BENCH_EMISSION_TOLERANCE_PCT  allowed ns/op regression for the emission
+#                                 family (PR 10: city-table full build /
+#                                 one-road incremental / warm cache hit, plus
+#                                 pollutant-objective routing); the builds
+#                                 integrate four pollutants over every 5 m
+#                                 cell of the 164.8 km network per op, so the
+#                                 default is looser (30)
+#   EMISSION_ROUTE_P95_NS         warm pollutant-objective (min-NOx) point-
+#                                 query p95 budget — pollutant objectives
+#                                 must stay under the same 1 ms serving bar
+#                                 as the fuel objective (default 1000000)
 #   BENCH_COUNT                   runs per benchmark; the best run is
 #                                 compared, which filters scheduler noise
 #                                 (default 3)
@@ -69,6 +80,7 @@ baseline6="${4:-BENCH_PR6.json}"
 baseline7="${5:-BENCH_PR7.json}"
 baseline8="${6:-BENCH_PR8.json}"
 baseline9="${7:-BENCH_PR9.json}"
+baseline10="${8:-BENCH_PR10.json}"
 tol1="${BENCH_TOLERANCE_PCT:-10}"
 tol4="${BENCH_SERVING_TOLERANCE_PCT:-30}"
 tol5="${BENCH_ECOROUTE_TOLERANCE_PCT:-30}"
@@ -80,9 +92,11 @@ tol9="${BENCH_ROUTESCALE_TOLERANCE_PCT:-40}"
 p95bar9="${ROUTESCALE_P95_NS:-1000000}"
 speedup9="${ROUTESCALE_SPEEDUP_MIN:-10}"
 custspeedup9="${CUSTOMIZE_SPEEDUP_MIN:-5}"
+tol10="${BENCH_EMISSION_TOLERANCE_PCT:-30}"
+p95bar10="${EMISSION_ROUTE_P95_NS:-1000000}"
 count="${BENCH_COUNT:-3}"
 
-for b in "$baseline1" "$baseline4" "$baseline5" "$baseline6" "$baseline7" "$baseline8" "$baseline9"; do
+for b in "$baseline1" "$baseline4" "$baseline5" "$baseline6" "$baseline7" "$baseline8" "$baseline9" "$baseline10"; do
     if [ ! -f "$b" ]; then
         echo "bench_check: baseline $b not found" >&2
         exit 1
@@ -279,5 +293,38 @@ END {
     if (full / incr < cmin) { print "bench_check: FAIL (incremental customization speedup below the bar)"; fail = 1 }
     if (fail) exit 1
     print "bench_check: OK (routescale acceptance bars hold)"
+}
+' "$tmp"
+
+# The emission family (PR 10): regression check against the baseline, then
+# two acceptance bars read from the same fresh run — the full city-table
+# build must stay within tolerance of the committed baseline (checked by
+# compare above), and warm pollutant-objective routing must keep its query
+# p95 under the existing 1 ms serving bar.
+go test -run '^$' -bench 'BenchmarkEmission' -benchmem -count="$count" ./internal/cloud ./internal/ecoroute >"$tmp"
+compare "$tmp" "$baseline10" "$tol10"
+awk -v p95bar="$p95bar10" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "p95-ns") {
+            p = $(i - 1) + 0
+            if (!(name in p95) || p < p95[name]) p95[name] = p
+        }
+    }
+}
+END {
+    q = p95["BenchmarkEmissionRouteQuery"]
+    if (q == 0) {
+        print "bench_check: emission routing p95 gate: benchmark missing" > "/dev/stderr"
+        exit 1
+    }
+    printf "bench_check: emission (min-NOx) routing p95 %.0f ns (bar %s ns)\n", q, p95bar
+    if (q > p95bar) {
+        print "bench_check: FAIL (pollutant-objective query p95 above the bar)"
+        exit 1
+    }
+    print "bench_check: OK (pollutant routing holds the serving bar)"
 }
 ' "$tmp"

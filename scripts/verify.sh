@@ -55,6 +55,16 @@ echo "== go test -race (observability gate) =="
 go test -race -count=1 ./internal/obs/...
 go test -race -count=2 -run 'TestTrace|TestSLO|TestExemplar|TestExposition|TestHealthz' ./internal/obs ./internal/cloud ./cmd/cloudfuse
 
+echo "== go test -race (emission / pollutant routing gate) =="
+# The emission path spans the opMode bin tables, the lazily built per-bucket
+# pollutant cost rows inside the routing snapshot (sync.Once + atomic flag
+# under concurrent queries), and the generation-keyed city-table cache on the
+# cloud server; run those tests uncached so a torn row build, a stale table
+# generation, or a Dijkstra/ALT/CCH pollutant-route mismatch fails with a
+# focused report.
+go test -race -count=1 -run 'TestOpMode|TestTripEmissions|TestEmission|TestRate|TestPollutant|TestPlanEmissions|TestMinNOx|TestObjective' \
+    ./internal/emission ./internal/fuel ./internal/ecoroute ./internal/cloud
+
 echo "== go test -race =="
 go test -race ./...
 
